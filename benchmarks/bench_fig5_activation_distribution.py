@@ -1,0 +1,49 @@
+"""Figure 5B: distribution of the noisy activation A' per coding scheme.
+
+The paper sketches how deletion noise reshapes a single activation A:
+rate/phase/burst produce a continuous distribution concentrated around
+(1-p)A, TTFS becomes all-or-none (mass only at 0 and A), and TTAS keeps most
+mass near the extremes while re-admitting intermediate values.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import SEED, emit_report, run_once
+from repro.experiments.figures import figure5_activation_distribution
+from repro.experiments.reporting import format_activation_distributions
+
+
+def test_fig5_activation_distribution(benchmark):
+    """Regenerate the Fig. 5B activation histograms."""
+
+    def run():
+        return figure5_activation_distribution(
+            clean_value=0.8, deletion_probability=0.4, trials=400, seed=SEED
+        )
+
+    distributions = run_once(benchmark, run)
+    emit_report("fig5_activation_distribution", format_activation_distributions(
+        distributions, "Fig. 5B -- activation distribution under deletion (p=0.4, A=0.8)"
+    ))
+
+    # Every coding keeps the expected value near (1 - p) * A.
+    for name, dist in distributions.items():
+        assert abs(dist.mean - 0.6 * 0.8) < 0.12, name
+
+    # TTFS is all-or-none: (almost) no mass strictly between 20% and 80% of A.
+    ttfs = distributions["ttfs"]
+    centers = 0.5 * (ttfs.bin_edges[:-1] + ttfs.bin_edges[1:])
+    middle = (centers > 0.2 * 0.8) & (centers < 0.8 * 0.8)
+    assert ttfs.probabilities[middle].sum() < 0.05
+
+    # Rate coding is continuous: most mass strictly between the extremes.
+    rate = distributions["rate"]
+    centers = 0.5 * (rate.bin_edges[:-1] + rate.bin_edges[1:])
+    middle = (centers > 0.2 * 0.8) & (centers < 0.8 * 0.8)
+    assert rate.probabilities[middle].sum() > 0.5
+
+    # TTAS re-admits intermediate values (graded failures).
+    ttas = distributions["ttas"]
+    centers = 0.5 * (ttas.bin_edges[:-1] + ttas.bin_edges[1:])
+    middle = (centers > 0.2 * 0.8) & (centers < 0.8 * 0.8)
+    assert ttas.probabilities[middle].sum() > 0.1

@@ -1,0 +1,41 @@
+"""Figure 7: all codings with and without weight scaling + TTAS(5)+WS, deletion.
+
+Paper setting: VGG16 on CIFAR-10.  Reported shape: weight scaling improves
+every coding against deletion; TTFS shows the smallest improvement; the
+proposed TTAS(5)+WS is the most robust overall.
+"""
+
+from benchmarks.conftest import EVAL_SIZE, SEED, emit_report, run_once
+from repro.experiments import figure7_deletion_comparison, format_figure_series
+from repro.metrics import area_under_accuracy_curve
+
+
+def test_fig7_full_deletion_comparison(benchmark, workloads):
+    """Regenerate the Fig. 7 series (with/without WS + TTAS(5)+WS)."""
+    workload = workloads.get("cifar10")
+
+    def run():
+        return figure7_deletion_comparison(
+            dataset="cifar10", workload=workload, seed=SEED, eval_size=EVAL_SIZE,
+            ttas_duration=5,
+        )
+
+    result = run_once(benchmark, run)
+    emit_report("fig7_deletion_comparison", format_figure_series(result, "Fig. 7 -- deletion robustness with/without WS (CIFAR-10 stand-in)"))
+
+    def auc(label):
+        curve = result.curve(label)
+        return area_under_accuracy_curve(curve.levels, curve.accuracies)
+
+    # Weight scaling helps every rate-like coding.
+    for coding in ("Rate", "Phase", "Burst"):
+        assert auc(f"{coding}+WS") >= auc(coding) - 0.02
+    # The improvement WS brings to TTFS is the smallest among the codings.
+    improvements = {
+        coding: auc(f"{coding}+WS") - auc(coding)
+        for coding in ("Rate", "Phase", "Burst", "TTFS")
+    }
+    assert improvements["TTFS"] <= max(improvements.values())
+    # The proposed method is the most robust configuration overall.
+    best_baseline = max(auc(f"{c}+WS") for c in ("Rate", "Phase", "Burst", "TTFS"))
+    assert auc("TTAS(5)+WS") >= best_baseline - 0.05

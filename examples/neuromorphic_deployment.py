@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Neuromorphic-deployment walkthrough: from spikes to energy estimates.
+
+This example goes one level deeper than the other two: it works directly with
+the spiking substrate (spike trains, IF / TTFS / IFB neurons, the time-stepped
+simulator) to show what actually runs on a neuromorphic device, and finishes
+with an energy-proxy comparison of the coding schemes.
+
+Covered:
+
+1. encode a single activation with every coding scheme and visualise the
+   spike trains as text rasters,
+2. drive the paper's simplified integrate-and-fire-or-burst neuron (Eq. 4)
+   and show the phasic burst it produces,
+3. run the faithful time-stepped simulator on a converted MLP (rate coding)
+   and compare it against the fast transport evaluation,
+4. estimate relative inference energy per coding from the spike counts.
+
+Run with::
+
+    python examples/neuromorphic_deployment.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding import create_coder
+from repro.core import ActivationTransportSimulator, build_time_stepped_simulator
+from repro.core.pipeline import NoiseRobustSNN
+from repro.data import synthetic_mnist
+from repro.metrics import energy_proxy
+from repro.nn import build_mlp, train_classifier
+from repro.snn.neurons import IntegrateFireOrBurstNeuron
+from repro.conversion import convert_dnn_to_snn
+
+
+def raster(counts: np.ndarray) -> str:
+    """Render a 1-neuron spike train as a text raster."""
+    return "".join("|" if c else "." for c in counts[:, 0])
+
+
+def main() -> None:
+    print("=== 1. one activation, five codings --------------------------------")
+    value = np.array([0.7])
+    for name in ("rate", "phase", "burst", "ttfs", "ttas(5)"):
+        coder = create_coder(name, num_steps=24)
+        train = coder.encode(value)
+        decoded = float(coder.decode(train)[0])
+        print(f"{name:>8}: {raster(train.counts)}  "
+              f"spikes={train.total_spikes():2d} decoded={decoded:.3f}")
+
+    print()
+    print("=== 2. the simplified IFB neuron (Eq. 4) ----------------------------")
+    neuron = IntegrateFireOrBurstNeuron(threshold=1.0, target_duration=4)
+    state = neuron.init_state((1,))
+    spikes_over_time = []
+    for _ in range(16):
+        spikes_over_time.append(int(neuron.step(state, np.array([0.35]))[0]))
+    print("constant drive 0.35, threshold 1.0, t_a=4:")
+    print("  " + "".join("|" if s else "." for s in spikes_over_time)
+          + "   (integrate ... phasic burst ... silent)")
+
+    print()
+    print("=== 3. time-stepped simulation vs transport evaluation --------------")
+    data = synthetic_mnist(train_size=800, test_size=200, rng=0)
+    model = build_mlp(28 * 28, hidden_units=(128,), num_classes=10, dropout=0.1, rng=0)
+    train_classifier(model, data.train, data.test, epochs=3, batch_size=64,
+                     learning_rate=0.1, rng=1)
+    network = convert_dnn_to_snn(model, data.train.x[:64])
+    x, y = data.test.x[:64], data.test.y[:64]
+
+    coder = create_coder("rate", num_steps=48)
+    stepped = build_time_stepped_simulator(
+        network, coder, batch_input_shape=(16,) + data.image_shape, threshold=1.0
+    )
+    correct = 0
+    total_spikes = 0
+    for start in range(0, len(x), 16):
+        batch = x[start:start + 16]
+        record = stepped.run(coder.encode(batch / network.input_scale))
+        correct += int((record.predictions == y[start:start + 16]).sum())
+        total_spikes += record.total_spikes()
+    stepped_accuracy = correct / len(x)
+
+    transport = ActivationTransportSimulator(network, coder).evaluate(x, y, rng=0)
+    analog = network.analog_accuracy(x, y)
+    print(f"analog DNN accuracy       : {analog * 100:5.1f}%")
+    print(f"time-stepped SNN accuracy : {stepped_accuracy * 100:5.1f}%  "
+          f"({total_spikes / len(x):,.0f} spikes/sample)")
+    print(f"transport SNN accuracy    : {transport.accuracy * 100:5.1f}%  "
+          f"({transport.spikes_per_sample:,.0f} spikes/sample)")
+
+    print()
+    print("=== 4. energy proxy per coding scheme -------------------------------")
+    pipeline_kwargs = {"num_steps": 32, "weight_scaling": False}
+    rows = []
+    for name in ("rate", "phase", "burst", "ttfs", "ttas"):
+        num_steps = 16 if name in ("ttfs", "ttas") else 32
+        snn = NoiseRobustSNN(network, coding=name, num_steps=num_steps,
+                             weight_scaling=False)
+        result = snn.evaluate(x, y, rng=0)
+        rows.append((name, result.accuracy, result.spikes_per_sample,
+                     energy_proxy(int(result.spikes_per_sample))))
+    print(f"{'coding':>8} {'accuracy':>10} {'spikes/sample':>15} {'energy proxy (uJ)':>20}")
+    for name, acc, spikes, energy in rows:
+        print(f"{name:>8} {acc * 100:>9.1f}% {spikes:>15,.0f} {energy:>20.4f}")
+    print()
+    print("Temporal coding (TTFS/TTAS) buys orders-of-magnitude fewer synaptic")
+    print("events -- the efficiency argument that motivates making it noise-robust.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: train a DNN, convert it to an SNN, and evaluate it under noise.
+
+This is the smallest end-to-end tour of the library:
+
+1. generate the synthetic MNIST stand-in,
+2. train a small MLP classifier with the numpy DNN substrate,
+3. convert it into a spiking network with TTAS coding and weight scaling,
+4. evaluate it clean, under spike deletion and under spike jitter,
+5. compare against the plain TTFS baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.core import NoiseRobustSNN
+from repro.data import synthetic_mnist
+from repro.nn import build_mlp, train_classifier
+
+
+def main() -> None:
+    print("=== 1. data -------------------------------------------------------")
+    data = synthetic_mnist(train_size=1500, test_size=300, rng=0)
+    print(f"train={len(data.train)} test={len(data.test)} "
+          f"image_shape={data.image_shape} classes={data.num_classes}")
+
+    print("=== 2. train the DNN ---------------------------------------------")
+    model = build_mlp(28 * 28, hidden_units=(256, 128), num_classes=10,
+                      dropout=0.2, rng=0)
+    history = train_classifier(model, data.train, data.test, epochs=5,
+                               batch_size=64, learning_rate=0.1, rng=1)
+    print(f"DNN test accuracy: {history.final_test_accuracy * 100:.1f}%")
+
+    print("=== 3. convert to noise-robust SNNs -------------------------------")
+    calibration = data.train.x[:128]
+    proposed = NoiseRobustSNN.from_dnn(
+        model, calibration, coding="ttas", target_duration=5,
+        num_steps=24, weight_scaling=True,
+    )
+    baseline = NoiseRobustSNN.from_dnn(
+        model, calibration, coding="ttfs", num_steps=24, weight_scaling=True,
+    )
+    print(f"proposed: {proposed}")
+    print(f"baseline: {baseline}")
+
+    print("=== 4. evaluate under noise ---------------------------------------")
+    x, y = data.test.x[:200], data.test.y[:200]
+    header = f"{'condition':<24}{'TTFS+WS':>12}{'TTAS(5)+WS':>14}{'spikes (TTAS)':>16}"
+    print(header)
+    print("-" * len(header))
+    for label, kwargs in [
+        ("clean", {}),
+        ("deletion p=0.4", {"deletion": 0.4}),
+        ("deletion p=0.7", {"deletion": 0.7}),
+        ("jitter sigma=2", {"jitter": 2.0}),
+    ]:
+        base = baseline.evaluate(x, y, rng=0, **kwargs)
+        prop = proposed.evaluate(x, y, rng=0, **kwargs)
+        print(f"{label:<24}{base.accuracy * 100:>11.1f}%{prop.accuracy * 100:>13.1f}%"
+              f"{prop.spikes_per_sample:>16,.0f}")
+
+    print()
+    print("TTAS spreads each activation over a short phasic burst, so deleting")
+    print("or shifting a single spike no longer erases the whole activation --")
+    print("which is exactly the robustness gap visible above.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Command-line interface for the reproduction harness.
+
+Three subcommands cover the common workflows::
+
+    python -m repro figure --name fig2 --dataset cifar10
+    python -m repro table  --name table2 --datasets mnist cifar10
+    python -m repro evaluate --dataset mnist --coding ttas --duration 5 \
+        --deletion 0.5 --weight-scaling
+
+``figure`` and ``table`` regenerate a paper figure/table and print the series
+(the same text the benchmarks write to ``reports/``); ``evaluate`` runs a
+single noise condition through the end-to-end pipeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    figure2_deletion,
+    figure3_jitter,
+    figure4_weight_scaling_ttas,
+    figure6_ttas_jitter,
+    figure7_deletion_comparison,
+    figure8_jitter_comparison,
+    format_figure_series,
+    format_table_rows,
+    table1_deletion,
+    table2_jitter,
+)
+from repro.experiments.config import BENCH_SCALE, TEST_SCALE, ExperimentScale
+from repro.experiments.workloads import prepare_workload
+from repro.core.pipeline import NoiseRobustSNN
+
+_FIGURES = {
+    "fig2": figure2_deletion,
+    "fig3": figure3_jitter,
+    "fig4": figure4_weight_scaling_ttas,
+    "fig6": figure6_ttas_jitter,
+    "fig7": figure7_deletion_comparison,
+    "fig8": figure8_jitter_comparison,
+}
+
+_TABLES = {
+    "table1": table1_deletion,
+    "table2": table2_jitter,
+}
+
+
+def _scale_from_name(name: str) -> ExperimentScale:
+    return {"bench": BENCH_SCALE, "test": TEST_SCALE}[name]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Noise-Robust Deep SNNs with Temporal Information' (DAC 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    figure = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    figure.add_argument("--name", choices=sorted(_FIGURES), required=True)
+    figure.add_argument("--dataset", default="cifar10")
+    figure.add_argument("--scale", choices=("bench", "test"), default="bench")
+    figure.add_argument("--eval-size", type=int, default=None)
+    figure.add_argument("--seed", type=int, default=0)
+
+    table = sub.add_parser("table", help="regenerate Table I or II")
+    table.add_argument("--name", choices=sorted(_TABLES), required=True)
+    table.add_argument("--datasets", nargs="+", default=["mnist", "cifar10", "cifar100"])
+    table.add_argument("--scale", choices=("bench", "test"), default="bench")
+    table.add_argument("--eval-size", type=int, default=None)
+    table.add_argument("--seed", type=int, default=0)
+
+    evaluate = sub.add_parser("evaluate", help="evaluate one coding/noise condition")
+    evaluate.add_argument("--dataset", default="cifar10")
+    evaluate.add_argument("--coding", default="ttas",
+                          choices=("rate", "phase", "burst", "ttfs", "ttas"))
+    evaluate.add_argument("--duration", type=int, default=5,
+                          help="TTAS burst duration t_a")
+    evaluate.add_argument("--deletion", type=float, default=0.0)
+    evaluate.add_argument("--jitter", type=float, default=0.0)
+    evaluate.add_argument("--weight-scaling", action="store_true")
+    evaluate.add_argument("--scale", choices=("bench", "test"), default="bench")
+    evaluate.add_argument("--eval-size", type=int, default=None)
+    evaluate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def _run_figure(args: argparse.Namespace) -> str:
+    scale = _scale_from_name(args.scale)
+    result = _FIGURES[args.name](
+        dataset=args.dataset, scale=scale, seed=args.seed, eval_size=args.eval_size
+    )
+    return format_figure_series(result, f"{args.name} ({args.dataset})")
+
+
+def _run_table(args: argparse.Namespace) -> str:
+    scale = _scale_from_name(args.scale)
+    result = _TABLES[args.name](
+        datasets=tuple(args.datasets), scale=scale, seed=args.seed,
+        eval_size=args.eval_size,
+    )
+    return format_table_rows(result, args.name)
+
+
+def _run_evaluate(args: argparse.Namespace) -> str:
+    scale = _scale_from_name(args.scale)
+    workload = prepare_workload(args.dataset, scale=scale, seed=args.seed)
+    coder_kwargs = {}
+    if args.coding == "ttas":
+        coder_kwargs["target_duration"] = args.duration
+    pipeline = NoiseRobustSNN(
+        workload.network,
+        coding=args.coding,
+        num_steps=scale.time_steps_for(args.coding),
+        weight_scaling=args.weight_scaling,
+        coder_kwargs=coder_kwargs,
+    )
+    x, y = workload.evaluation_slice(args.eval_size)
+    result = pipeline.evaluate(
+        x, y, deletion=args.deletion, jitter=args.jitter, rng=args.seed
+    )
+    lines = [
+        f"dataset            : {args.dataset} ({scale.name} scale)",
+        f"analog DNN accuracy: {workload.dnn_accuracy * 100:.1f}%",
+        f"coding             : {result.coding}"
+        + (f" (t_a={args.duration})" if args.coding == "ttas" else ""),
+        f"noise              : deletion={result.deletion:g} jitter={result.jitter:g}",
+        f"weight scaling     : C={result.weight_scaling_factor:.3f}",
+        f"SNN accuracy       : {result.accuracy * 100:.1f}%",
+        f"spikes per sample  : {result.spikes_per_sample:,.0f}",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {"figure": _run_figure, "table": _run_table, "evaluate": _run_evaluate}
+    output = handlers[args.command](args)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,122 @@
+"""Coder interface.
+
+A coder converts *normalised* activation values (in ``[0, 1]``, where 1
+corresponds to the layer's conversion-time maximum activation) into spike
+trains and back.  Values outside ``[0, 1]`` are clipped: that is not an
+implementation shortcut but the saturation behaviour of a real converted SNN
+-- a rate-coded neuron cannot fire more than once per step, a TTFS neuron
+cannot fire before step 0 -- and it is what turns the weight-scaling
+"over-activation" the paper discusses into a bounded effect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.snn.kernels import PSCKernel
+from repro.snn.neurons import SpikingNeuron
+from repro.snn.spikes import SpikeTrainArray
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CoderConfig:
+    """Common configuration shared by every coder.
+
+    Attributes
+    ----------
+    num_steps:
+        Length of the encoding time window ``T``.
+    threshold:
+        Firing threshold used when the coder instantiates spiking neurons for
+        the time-stepped simulator; defaults to the paper's empirical value
+        for the coding scheme.
+    """
+
+    num_steps: int
+    threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_positive("num_steps", self.num_steps)
+        if self.threshold is not None:
+            check_positive("threshold", self.threshold)
+
+
+class NeuralCoder:
+    """Base class for neural coding schemes.
+
+    Subclasses implement :meth:`encode`, :meth:`decode` (usually via the PSC
+    kernel), :meth:`make_neuron` and report their kernel through
+    :attr:`kernel`.
+    """
+
+    #: Registry name of the coding scheme ("rate", "phase", ...).
+    name: str = "abstract"
+
+    def __init__(self, num_steps: int):
+        check_positive("num_steps", num_steps)
+        self._num_steps = int(num_steps)
+
+    # -- basic properties ------------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        """Length of the encoding window ``T``."""
+        return self._num_steps
+
+    @property
+    def kernel(self) -> PSCKernel:
+        """PSC kernel pairing spike times with post-synaptic weights."""
+        raise NotImplementedError
+
+    def step_weights(self) -> np.ndarray:
+        """Kernel weights evaluated on this coder's time grid."""
+        return self.kernel.weights(self.num_steps)
+
+    # -- encoding / decoding ---------------------------------------------------
+    def encode(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+        """Encode normalised activations ``values`` into spike trains.
+
+        ``values`` may have any shape; the returned train has shape
+        ``(num_steps, *values.shape)``.
+        """
+        raise NotImplementedError
+
+    def decode(self, train: SpikeTrainArray) -> np.ndarray:
+        """Decode a spike train back into activation values."""
+        raise NotImplementedError
+
+    def roundtrip(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
+        """Encode then decode (no noise): exposes the pure quantisation error."""
+        return self.decode(self.encode(values, rng=rng))
+
+    def expected_spike_count(self, values: np.ndarray) -> float:
+        """Analytic expectation of the number of spikes used to encode ``values``.
+
+        Subclasses override this with a closed form; the default encodes and
+        counts, which is exact but slower.
+        """
+        return float(self.encode(values).total_spikes())
+
+    # -- neurons for the time-stepped simulator --------------------------------
+    def make_neuron(self, threshold: float) -> SpikingNeuron:
+        """Neuron model implementing this coding in the time-stepped simulator."""
+        raise NotImplementedError
+
+    def default_threshold(self) -> float:
+        """The paper's empirical threshold for this coding scheme."""
+        from repro.snn.thresholds import empirical_threshold
+
+        return empirical_threshold(self.name)
+
+    # -- shared helpers ----------------------------------------------------------
+    @staticmethod
+    def _normalise(values: np.ndarray) -> np.ndarray:
+        """Clip values into the representable range [0, 1] (saturation)."""
+        return np.clip(np.asarray(values, dtype=np.float64), 0.0, 1.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(num_steps={self.num_steps})"

@@ -1,0 +1,75 @@
+"""Rate coding.
+
+The activation is carried by the *number* of spikes in the window: a
+normalised value ``a`` produces ``round(a * T)`` spikes spread as evenly as
+possible over the ``T`` steps, and decoding is simply the firing rate
+``N / T``.  Rate coding is the baseline of conversion SNNs (Han et al. 2020);
+it needs many spikes but -- because spike *timing* carries no information --
+it is immune to jitter, which is exactly the behaviour the paper's Fig. 3
+reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.base import NeuralCoder
+from repro.snn.kernels import ConstantKernel, PSCKernel
+from repro.snn.neurons import IFNeuron, SpikingNeuron
+from repro.snn.spikes import SpikeTrainArray
+from repro.utils.rng import RngLike, default_rng
+
+
+class RateCoder(NeuralCoder):
+    """Firing-rate coder.
+
+    Parameters
+    ----------
+    num_steps:
+        Time-window length ``T``; the rate resolution is ``1/T``.
+    stochastic:
+        When True spikes are drawn as independent Bernoulli events with
+        probability ``a`` per step (Poisson-like input coding); the default is
+        the deterministic, evenly spaced placement that converted SNNs
+        produce.
+    """
+
+    name = "rate"
+
+    def __init__(self, num_steps: int = 64, stochastic: bool = False):
+        super().__init__(num_steps)
+        self.stochastic = bool(stochastic)
+        self._kernel = ConstantKernel(amplitude=1.0 / self.num_steps)
+
+    @property
+    def kernel(self) -> PSCKernel:
+        return self._kernel
+
+    def encode(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+        values = self._normalise(values)
+        t = self.num_steps
+        if self.stochastic:
+            generator = default_rng(rng)
+            spikes = (
+                generator.random((t,) + values.shape) < values[None, ...]
+            ).astype(np.int16)
+            return SpikeTrainArray(spikes, copy=False)
+        # Deterministic, evenly spaced placement: neuron with n target spikes
+        # fires at step t whenever floor((t+1) * n / T) increments.  Integer
+        # arithmetic keeps the temporaries small for large populations.
+        target = np.rint(values * t).astype(np.int32)
+        steps = np.arange(t + 1, dtype=np.int64)
+        shape = (t + 1,) + (1,) * values.ndim
+        boundaries = (steps.reshape(shape) * target[None, ...]) // t
+        spikes = np.diff(boundaries, axis=0).astype(np.int16)
+        return SpikeTrainArray(spikes, copy=False)
+
+    def decode(self, train: SpikeTrainArray) -> np.ndarray:
+        return train.weighted_sum(self.step_weights())
+
+    def expected_spike_count(self, values: np.ndarray) -> float:
+        values = self._normalise(values)
+        return float(np.rint(values * self.num_steps).sum())
+
+    def make_neuron(self, threshold: float) -> SpikingNeuron:
+        return IFNeuron(threshold=threshold, reset="subtract")

@@ -1,0 +1,71 @@
+"""Coder registry.
+
+Experiments and benchmarks refer to coding schemes by name ("rate", "phase",
+"burst", "ttfs", "ttas", and the convenience aliases "ttas(3)" etc. with an
+explicit burst duration).  The registry maps those names onto configured
+coder instances.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List
+
+from repro.coding.base import NeuralCoder
+from repro.coding.burst import BurstCoder
+from repro.coding.phase import PhaseCoder
+from repro.coding.rate import RateCoder
+from repro.coding.ttas import TTASCoder
+from repro.coding.ttfs import TTFSCoder
+
+CoderFactory = Callable[..., NeuralCoder]
+
+_REGISTRY: Dict[str, CoderFactory] = {
+    "rate": RateCoder,
+    "phase": PhaseCoder,
+    "burst": BurstCoder,
+    "ttfs": TTFSCoder,
+    "ttas": TTASCoder,
+}
+
+#: Names of the built-in coding schemes, in the order the paper lists them.
+CODER_NAMES: List[str] = ["rate", "phase", "burst", "ttfs", "ttas"]
+
+_TTAS_PATTERN = re.compile(r"^ttas\((\d+)\)$")
+
+
+def register_coder(name: str, factory: CoderFactory, overwrite: bool = False) -> None:
+    """Register a new coder factory under ``name``.
+
+    Raises ``ValueError`` when the name is already taken and ``overwrite`` is
+    False.
+    """
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"coder {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_coders() -> List[str]:
+    """Names of every registered coder."""
+    return sorted(_REGISTRY)
+
+
+def create_coder(name: str, num_steps: int = 64, **kwargs) -> NeuralCoder:
+    """Instantiate a coder by name.
+
+    ``"ttas(5)"`` is accepted as shorthand for TTAS with
+    ``target_duration=5`` (matching the notation of the paper's figures).
+    """
+    key = name.lower().strip()
+    match = _TTAS_PATTERN.match(key)
+    if match:
+        kwargs.setdefault("target_duration", int(match.group(1)))
+        key = "ttas"
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown coder {name!r}; available: {available_coders()}")
+    return _REGISTRY[key](num_steps=num_steps, **kwargs)
+
+
+# ``get_coder`` is the name used throughout the examples; keep both spellings.
+get_coder = create_coder

@@ -1,0 +1,92 @@
+"""Time-to-first-spike (TTFS) coding.
+
+T2FSNN (Park et al., DAC 2020) represents an activation with a *single*
+spike: the stronger the activation, the earlier the spike.  With the
+exponentially decaying PSC kernel ``exp(-t / tau)`` the decoded value of a
+spike at time ``t_f`` is ``exp(-t_f / tau)``, so encoding places the spike at
+``t_f = round(-tau * ln(a))``.
+
+The consequences the paper analyses follow directly from this design:
+
+* the fewest spikes of all codings (at most one per activation),
+* all-or-none behaviour under deletion -- losing the single spike erases the
+  whole activation (but dropout-trained DNNs tolerate that reasonably well),
+* extreme sensitivity to jitter -- shifting the single spike by ``d`` steps
+  multiplies the decoded value by ``exp(-d / tau)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding.base import NeuralCoder
+from repro.snn.kernels import ExponentialKernel, PSCKernel
+from repro.snn.neurons import SpikingNeuron, TTFSNeuron
+from repro.snn.spikes import SpikeTrainArray
+from repro.utils.rng import RngLike
+from repro.utils.validation import check_probability
+
+
+class TTFSCoder(NeuralCoder):
+    """Time-to-first-spike coder with an exponentially decaying kernel.
+
+    Parameters
+    ----------
+    num_steps:
+        Window length ``T``.
+    min_value:
+        Smallest activation that still produces a spike; it is mapped to the
+        last step of the window, which fixes the kernel decay constant to
+        ``tau = (T - 1) / ln(1 / min_value)``.  Smaller activations produce no
+        spike at all (they are below the code's resolution).
+    """
+
+    name = "ttfs"
+
+    def __init__(self, num_steps: int = 64, min_value: float = 0.02):
+        super().__init__(num_steps)
+        check_probability("min_value", min_value)
+        if min_value <= 0.0 or min_value >= 1.0:
+            raise ValueError(f"min_value must lie strictly in (0, 1), got {min_value}")
+        self.min_value = float(min_value)
+        if num_steps == 1:
+            self.tau = 1.0
+        else:
+            self.tau = (self.num_steps - 1) / float(np.log(1.0 / self.min_value))
+        self._kernel = ExponentialKernel(tau=self.tau)
+
+    @property
+    def kernel(self) -> PSCKernel:
+        return self._kernel
+
+    def spike_times(self, values: np.ndarray) -> np.ndarray:
+        """First-spike time per value (num_steps means "no spike")."""
+        values = self._normalise(values)
+        with np.errstate(divide="ignore"):
+            times = np.where(
+                values >= self.min_value,
+                np.rint(-self.tau * np.log(np.maximum(values, 1e-12))),
+                self.num_steps,
+            )
+        return np.clip(times, 0, self.num_steps).astype(np.int64)
+
+    def encode(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+        values = self._normalise(values)
+        times = self.spike_times(values)
+        train = SpikeTrainArray.zeros(self.num_steps, values.shape)
+        active = times < self.num_steps
+        if np.any(active):
+            flat_times = times[active]
+            flat_index = np.nonzero(active)
+            np.add.at(train.counts, (flat_times,) + flat_index, 1)
+        return train
+
+    def decode(self, train: SpikeTrainArray) -> np.ndarray:
+        return train.weighted_sum(self.step_weights())
+
+    def expected_spike_count(self, values: np.ndarray) -> float:
+        values = self._normalise(values)
+        return float((values >= self.min_value).sum())
+
+    def make_neuron(self, threshold: float) -> SpikingNeuron:
+        return TTFSNeuron(threshold=threshold, tau=self.tau)

@@ -1,0 +1,44 @@
+"""The paper's core contribution: noise-robust deep SNNs.
+
+This package combines the substrates (DNN training, conversion, coding,
+noise) into the system the paper proposes:
+
+* :mod:`repro.core.weight_scaling` -- the weight-scaling compensation
+  ``W' = C W`` for deletion noise,
+* :mod:`repro.core.transport` -- the fast activation-transport evaluator used
+  for every figure/table sweep,
+* :mod:`repro.core.pipeline` -- :class:`NoiseRobustSNN`, the end-to-end
+  public API (train DNN -> convert -> evaluate under noise),
+* :mod:`repro.core.analysis` -- the activation-distribution analysis of
+  Sec. III / Fig. 5B,
+* :mod:`repro.core.timestep` -- helpers that instantiate the faithful
+  time-stepped simulator from a converted network.
+"""
+
+from repro.core.weight_scaling import WeightScaling
+from repro.core.transport import (
+    ActivationTransportSimulator,
+    TransportResult,
+)
+from repro.core.pipeline import EvaluationResult, NoiseRobustSNN
+from repro.core.analysis import (
+    activation_distribution,
+    all_or_none_fraction,
+    expected_activation_ratio,
+)
+from repro.core.timestep import build_time_stepped_simulator
+from repro.core.calibration import BurstDurationChoice, select_burst_duration
+
+__all__ = [
+    "BurstDurationChoice",
+    "select_burst_duration",
+    "WeightScaling",
+    "ActivationTransportSimulator",
+    "TransportResult",
+    "NoiseRobustSNN",
+    "EvaluationResult",
+    "activation_distribution",
+    "all_or_none_fraction",
+    "expected_activation_ratio",
+    "build_time_stepped_simulator",
+]

@@ -1,0 +1,120 @@
+"""Deployment-time calibration of the TTAS burst duration.
+
+The paper selects the burst duration ``t_a`` "empirically depending on the
+dataset and noise type" (Sec. V).  This module automates that selection: given
+a converted network, a small calibration set and the expected noise levels, it
+sweeps candidate durations and returns the smallest one whose accuracy is
+within a tolerance of the best -- the spike-count cost of TTAS grows linearly
+with ``t_a``, so the smallest adequate burst is the efficient choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coding.ttas import TTASCoder
+from repro.conversion.converter import ConvertedSNN
+from repro.core.transport import ActivationTransportSimulator
+from repro.core.weight_scaling import WeightScaling
+from repro.noise.injector import NoiseInjector
+from repro.utils.rng import RngLike, derive_rng
+from repro.utils.validation import check_non_negative, check_positive, check_probability
+
+
+@dataclass(frozen=True)
+class BurstDurationChoice:
+    """Outcome of a burst-duration calibration.
+
+    Attributes
+    ----------
+    target_duration:
+        The selected ``t_a``.
+    accuracies:
+        Calibration accuracy measured for every candidate duration.
+    spikes_per_sample:
+        Spike cost for every candidate duration.
+    best_duration:
+        The duration with the single highest accuracy (the selection may pick
+        a smaller one within ``tolerance`` of it).
+    """
+
+    target_duration: int
+    accuracies: Dict[int, float]
+    spikes_per_sample: Dict[int, float]
+    best_duration: int
+
+
+def select_burst_duration(
+    network: ConvertedSNN,
+    calibration_inputs: np.ndarray,
+    calibration_labels: np.ndarray,
+    candidate_durations: Sequence[int] = (1, 2, 3, 5, 10),
+    num_steps: int = 16,
+    deletion: float = 0.0,
+    jitter: float = 0.0,
+    weight_scaling: bool = True,
+    tolerance: float = 0.02,
+    batch_size: int = 16,
+    rng: RngLike = None,
+) -> BurstDurationChoice:
+    """Pick the smallest TTAS burst duration that is (near-)optimal.
+
+    Parameters
+    ----------
+    network:
+        The converted SNN to calibrate for.
+    calibration_inputs / calibration_labels:
+        A held-out slice used to score candidate durations (the paper tunes on
+        the evaluation noise type; any labelled slice works).
+    candidate_durations:
+        Durations to try, in increasing order of spike cost.
+    num_steps:
+        TTAS window length.
+    deletion / jitter:
+        Expected deployment noise levels the calibration should target.
+    weight_scaling:
+        Apply the weight-scaling compensation for the expected deletion.
+    tolerance:
+        Accept the smallest duration within ``tolerance`` of the best accuracy.
+    """
+    check_positive("num_steps", num_steps)
+    check_probability("deletion", deletion)
+    check_non_negative("jitter", jitter)
+    check_non_negative("tolerance", tolerance)
+    durations = sorted({int(d) for d in candidate_durations})
+    if not durations or durations[0] < 1:
+        raise ValueError("candidate_durations must contain positive integers")
+
+    noise = NoiseInjector.from_levels(deletion_probability=deletion, jitter_sigma=jitter)
+    scaling = WeightScaling() if weight_scaling else WeightScaling.disabled()
+    accuracies: Dict[int, float] = {}
+    spikes: Dict[int, float] = {}
+    for duration in durations:
+        coder = TTASCoder(num_steps=num_steps, target_duration=duration)
+        simulator = ActivationTransportSimulator(
+            network, coder, noise=noise, weight_scaling=scaling,
+            expected_deletion=deletion,
+        )
+        result = simulator.evaluate(
+            calibration_inputs, calibration_labels,
+            batch_size=batch_size, rng=derive_rng(rng, "ttas-calibration", duration),
+        )
+        accuracies[duration] = result.accuracy
+        spikes[duration] = result.spikes_per_sample
+
+    best_duration = max(durations, key=lambda d: accuracies[d])
+    best_accuracy = accuracies[best_duration]
+    selected = best_duration
+    for duration in durations:
+        if accuracies[duration] >= best_accuracy - tolerance:
+            selected = duration
+            break
+    return BurstDurationChoice(
+        target_duration=selected,
+        accuracies=accuracies,
+        spikes_per_sample=spikes,
+        best_duration=best_duration,
+    )

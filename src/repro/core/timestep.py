@@ -1,0 +1,159 @@
+"""Bridge from a converted network to the time-stepped simulator.
+
+The time-stepped simulator (:mod:`repro.snn.simulator`) needs per-layer
+synaptic transforms operating on instantaneous post-synaptic currents.  This
+module builds those transforms from a :class:`ConvertedSNN`:
+
+* the analog layers of each segment are applied per step, with the bias
+  separated out and injected as a constant current spread over the window,
+* activations are expressed in normalised units (the calibration scales of
+  the converted network are used to rescale between interfaces),
+* the hidden-layer PSC kernel is the firing threshold (a spike of an IF
+  neuron with threshold ``theta`` represents ``theta`` units of accumulated
+  drive under reset-by-subtraction).
+
+Only rate coding has an exact correspondence of this form; the builder
+therefore accepts rate coders and raises for temporal coders, whose
+step-by-step dynamics are exercised at the neuron level in the unit tests and
+at the coding level by the transport evaluator.  This keeps the faithful
+simulator honest instead of quietly approximating schemes it cannot model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.coding.base import NeuralCoder
+from repro.coding.rate import RateCoder
+from repro.conversion.converter import ConvertedSNN, NetworkSegment
+from repro.nn.layers import Layer, ReLU
+from repro.snn.simulator import SimulatorLayer, TimeSteppedSimulator
+from repro.utils.validation import check_positive
+
+
+class _SegmentTransform:
+    """Per-step synaptic transform of one converted segment.
+
+    Applies the segment's analog layers (minus the trailing ReLU) to an
+    instantaneous PSC expressed in the previous interface's normalised units,
+    and returns the drive in this interface's normalised units with the bias
+    removed (the bias is injected separately as a constant step current).
+    """
+
+    def __init__(
+        self,
+        layers: List[Layer],
+        input_scale: float,
+        output_scale: float,
+    ):
+        self.layers = layers
+        self.input_scale = float(input_scale)
+        self.output_scale = float(output_scale)
+        self._bias_cache: Dict[Tuple[int, ...], np.ndarray] = {}
+
+    def _run(self, values: np.ndarray) -> np.ndarray:
+        out = values
+        for layer in self.layers:
+            out = layer.forward(out, training=False)
+        return out
+
+    def bias_image(self, input_shape: Tuple[int, ...]) -> np.ndarray:
+        """Output of the segment for an all-zero input (the bias contribution)."""
+        key = tuple(int(s) for s in input_shape)
+        if key not in self._bias_cache:
+            zeros = np.zeros(input_shape, dtype=np.float32)
+            self._bias_cache[key] = self._run(zeros)
+        return self._bias_cache[key]
+
+    def __call__(self, psc: np.ndarray) -> np.ndarray:
+        psc = np.asarray(psc, dtype=np.float32)
+        raw = self._run(psc * self.input_scale)
+        bias = self.bias_image(psc.shape)
+        return (raw - bias) / self.output_scale
+
+    def step_bias(self, input_shape: Tuple[int, ...], num_steps: int) -> np.ndarray:
+        """Constant per-step bias current for a given batch shape."""
+        return self.bias_image(input_shape) / (self.output_scale * num_steps)
+
+
+def _strip_trailing_relu(segment: NetworkSegment) -> List[Layer]:
+    layers = list(segment.layers)
+    if layers and isinstance(layers[-1], ReLU):
+        layers = layers[:-1]
+    return layers
+
+
+def build_time_stepped_simulator(
+    network: ConvertedSNN,
+    coder: NeuralCoder,
+    batch_input_shape: Tuple[int, ...],
+    threshold: Optional[float] = None,
+) -> TimeSteppedSimulator:
+    """Build a :class:`TimeSteppedSimulator` for a converted network.
+
+    Parameters
+    ----------
+    network:
+        The converted network.
+    coder:
+        A :class:`repro.coding.rate.RateCoder`; other coders are rejected (see
+        module docstring).
+    batch_input_shape:
+        Shape of the input batches that will be simulated, e.g.
+        ``(batch, channels, height, width)`` -- needed to pre-compute the
+        per-step bias currents.
+    threshold:
+        Firing threshold of the hidden IF neurons (defaults to the coder's
+        empirical threshold).
+    """
+    if not isinstance(coder, RateCoder):
+        raise TypeError(
+            "the time-stepped builder supports rate coding only; temporal "
+            f"coders are evaluated with the transport simulator (got {coder.name})"
+        )
+    check_positive("num_steps (coder)", coder.num_steps)
+    theta = float(threshold) if threshold is not None else coder.default_threshold()
+    check_positive("threshold", theta)
+
+    layers: List[SimulatorLayer] = []
+    scales = [network.input_scale] + [
+        segment.activation_scale
+        for segment in network.segments
+        if segment.ends_with_spikes
+    ]
+    current_shape = tuple(int(s) for s in batch_input_shape)
+    interface = 0
+    for segment in network.segments:
+        input_scale = scales[interface]
+        if segment.ends_with_spikes:
+            output_scale = segment.activation_scale
+        else:
+            output_scale = 1.0
+        transform = _SegmentTransform(
+            _strip_trailing_relu(segment), input_scale, output_scale
+        )
+        bias_image = transform.bias_image(current_shape)
+        step_bias = transform.step_bias(current_shape, coder.num_steps)
+        neuron = coder.make_neuron(theta) if segment.ends_with_spikes else None
+        layers.append(
+            SimulatorLayer(
+                transform=transform,
+                neuron=neuron,
+                name=f"segment{segment.index}",
+                step_bias=step_bias,
+            )
+        )
+        current_shape = bias_image.shape
+        if segment.ends_with_spikes:
+            interface += 1
+
+    input_kernel = coder.step_weights()
+    hidden_kernel = np.full(coder.num_steps, theta, dtype=np.float64)
+    return TimeSteppedSimulator(
+        layers=layers,
+        num_steps=coder.num_steps,
+        input_kernel=input_kernel,
+        hidden_kernel=hidden_kernel,
+    )

@@ -1,0 +1,52 @@
+"""Dataset substrate.
+
+The paper evaluates on MNIST, CIFAR-10 and CIFAR-100.  Those datasets cannot
+be downloaded in this offline environment, so this package provides
+procedurally generated stand-ins with the same tensor shapes and class
+counts (see DESIGN.md, "Substitutions"):
+
+* :func:`repro.data.synthetic.synthetic_mnist` -- 1x28x28 grayscale glyphs,
+  10 classes,
+* :func:`repro.data.synthetic.synthetic_cifar10` -- 3x32x32 textured shape
+  composites, 10 classes,
+* :func:`repro.data.synthetic.synthetic_cifar100` -- 3x32x32, 100 classes.
+
+All generators are deterministic for a given seed, so experiments are exactly
+reproducible.
+"""
+
+from repro.data.datasets import Dataset, DatasetSplit, train_test_split
+from repro.data.synthetic import (
+    SyntheticImageConfig,
+    load_dataset,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_mnist,
+)
+from repro.data.loaders import BatchLoader
+from repro.data.transforms import (
+    Normalize,
+    OneHot,
+    RandomCrop,
+    RandomHorizontalFlip,
+    Compose,
+    compute_channel_stats,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetSplit",
+    "train_test_split",
+    "SyntheticImageConfig",
+    "load_dataset",
+    "synthetic_cifar10",
+    "synthetic_cifar100",
+    "synthetic_mnist",
+    "BatchLoader",
+    "Normalize",
+    "OneHot",
+    "RandomCrop",
+    "RandomHorizontalFlip",
+    "Compose",
+    "compute_channel_stats",
+]

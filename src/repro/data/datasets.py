@@ -1,0 +1,179 @@
+"""Dataset containers.
+
+A :class:`Dataset` is an immutable pair of image tensor ``x`` with shape
+``(N, C, H, W)`` and integer label vector ``y`` with shape ``(N,)``.  A
+:class:`DatasetSplit` groups a train and a test dataset together with
+metadata (name, number of classes, image shape).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, default_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An in-memory image-classification dataset.
+
+    Attributes
+    ----------
+    x:
+        Float32 array with shape ``(N, C, H, W)``, values typically in [0, 1]
+        before normalisation.
+    y:
+        Int64 array with shape ``(N,)`` holding class indices.
+    num_classes:
+        Total number of classes (labels are in ``[0, num_classes)``).
+    name:
+        Human-readable dataset name used in reports.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        x = np.asarray(self.x, dtype=np.float32)
+        y = np.asarray(self.y, dtype=np.int64)
+        if x.ndim != 4:
+            raise ValueError(f"x must have shape (N, C, H, W), got {x.shape}")
+        if y.ndim != 1:
+            raise ValueError(f"y must be a 1-D label vector, got shape {y.shape}")
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(
+                f"x and y disagree on the number of samples: {x.shape[0]} vs {y.shape[0]}"
+            )
+        check_positive("num_classes", self.num_classes)
+        if y.size and (y.min() < 0 or y.max() >= self.num_classes):
+            raise ValueError(
+                f"labels must lie in [0, {self.num_classes}), "
+                f"got range [{y.min()}, {y.max()}]"
+            )
+        object.__setattr__(self, "x", x)
+        object.__setattr__(self, "y", y)
+
+    def __len__(self) -> int:
+        return int(self.x.shape[0])
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """Shape of a single image as ``(C, H, W)``."""
+        return tuple(self.x.shape[1:])  # type: ignore[return-value]
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """Return a new dataset containing only ``indices`` (in order)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return Dataset(
+            x=self.x[indices], y=self.y[indices],
+            num_classes=self.num_classes, name=self.name,
+        )
+
+    def take(self, count: int) -> "Dataset":
+        """Return the first ``count`` samples (clamped to the dataset size)."""
+        count = int(min(max(count, 0), len(self)))
+        return self.subset(np.arange(count))
+
+    def shuffled(self, rng: RngLike = None) -> "Dataset":
+        """Return a copy with samples in random order."""
+        generator = default_rng(rng)
+        order = generator.permutation(len(self))
+        return self.subset(order)
+
+    def class_counts(self) -> np.ndarray:
+        """Return a length-``num_classes`` array of per-class sample counts."""
+        return np.bincount(self.y, minlength=self.num_classes)
+
+    def iter_batches(
+        self, batch_size: int, shuffle: bool = False, rng: RngLike = None
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(x_batch, y_batch)`` pairs of at most ``batch_size`` samples."""
+        check_positive("batch_size", batch_size)
+        order = np.arange(len(self))
+        if shuffle:
+            order = default_rng(rng).permutation(order)
+        for start in range(0, len(self), int(batch_size)):
+            idx = order[start:start + int(batch_size)]
+            yield self.x[idx], self.y[idx]
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """A train/test pair with shared metadata."""
+
+    train: Dataset
+    test: Dataset
+    name: str = field(default="dataset")
+
+    def __post_init__(self) -> None:
+        if self.train.num_classes != self.test.num_classes:
+            raise ValueError(
+                "train and test disagree on num_classes: "
+                f"{self.train.num_classes} vs {self.test.num_classes}"
+            )
+        if self.train.image_shape != self.test.image_shape:
+            raise ValueError(
+                "train and test disagree on image shape: "
+                f"{self.train.image_shape} vs {self.test.image_shape}"
+            )
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes shared by both splits."""
+        return self.train.num_classes
+
+    @property
+    def image_shape(self) -> Tuple[int, int, int]:
+        """Image shape ``(C, H, W)`` shared by both splits."""
+        return self.train.image_shape
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.2,
+    rng: RngLike = None,
+    stratified: bool = True,
+) -> DatasetSplit:
+    """Split a dataset into train and test subsets.
+
+    Parameters
+    ----------
+    dataset:
+        The dataset to split.
+    test_fraction:
+        Fraction of samples assigned to the test split (0 < f < 1).
+    rng:
+        Seed or generator controlling the split.
+    stratified:
+        When True (default), the split preserves per-class proportions.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must lie in (0, 1), got {test_fraction}")
+    generator = default_rng(rng)
+    n = len(dataset)
+    if stratified:
+        test_indices = []
+        for cls in range(dataset.num_classes):
+            cls_idx = np.flatnonzero(dataset.y == cls)
+            cls_idx = generator.permutation(cls_idx)
+            # round-half-up keeps the overall test fraction close to the target
+            n_test = int(np.floor(len(cls_idx) * test_fraction + 0.5))
+            test_indices.append(cls_idx[:n_test])
+        test_idx = np.sort(np.concatenate(test_indices)) if test_indices else np.array([], dtype=np.int64)
+    else:
+        order = generator.permutation(n)
+        test_idx = np.sort(order[: int(round(n * test_fraction))])
+    mask = np.zeros(n, dtype=bool)
+    mask[test_idx] = True
+    train_idx = np.flatnonzero(~mask)
+    return DatasetSplit(
+        train=dataset.subset(train_idx),
+        test=dataset.subset(test_idx),
+        name=dataset.name,
+    )

@@ -1,0 +1,121 @@
+"""Batch transforms (normalisation, one-hot encoding, light augmentation).
+
+Transforms are callables ``(x, y) -> (x, y)`` operating on whole batches.
+They are intentionally simple: the DNN substrate only needs enough
+augmentation to train small VGG-style networks that the conversion pipeline
+then turns into SNNs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, default_rng
+from repro.utils.validation import check_positive
+
+Batch = Tuple[np.ndarray, np.ndarray]
+
+
+class Compose:
+    """Apply a sequence of transforms in order."""
+
+    def __init__(self, transforms: Sequence):
+        self.transforms = list(transforms)
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> Batch:
+        for transform in self.transforms:
+            x, y = transform(x, y)
+        return x, y
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(type(t).__name__ for t in self.transforms)
+        return f"Compose([{inner}])"
+
+
+class Normalize:
+    """Per-channel normalisation ``(x - mean) / std``.
+
+    The statistics are broadcast over the batch and spatial dimensions; use
+    :func:`compute_channel_stats` to derive them from a training set.
+    """
+
+    def __init__(self, mean: Iterable[float], std: Iterable[float]):
+        self.mean = np.asarray(list(mean), dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(list(std), dtype=np.float32).reshape(1, -1, 1, 1)
+        if np.any(self.std <= 0):
+            raise ValueError("std values must be strictly positive")
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> Batch:
+        return (x - self.mean) / self.std, y
+
+
+class OneHot:
+    """Replace integer labels with one-hot float vectors."""
+
+    def __init__(self, num_classes: int):
+        check_positive("num_classes", num_classes)
+        self.num_classes = int(num_classes)
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> Batch:
+        if y.ndim != 1:
+            raise ValueError(f"expected 1-D labels, got shape {y.shape}")
+        one_hot = np.zeros((y.shape[0], self.num_classes), dtype=np.float32)
+        one_hot[np.arange(y.shape[0]), y] = 1.0
+        return x, one_hot
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5, rng: RngLike = None):
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must lie in [0, 1], got {p}")
+        self.p = float(p)
+        self._rng = default_rng(rng)
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> Batch:
+        flips = self._rng.random(x.shape[0]) < self.p
+        if np.any(flips):
+            x = x.copy()
+            x[flips] = x[flips, :, :, ::-1]
+        return x, y
+
+
+class RandomCrop:
+    """Pad with zeros and crop back to the original size at a random offset."""
+
+    def __init__(self, padding: int = 2, rng: RngLike = None):
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        self.padding = int(padding)
+        self._rng = default_rng(rng)
+
+    def __call__(self, x: np.ndarray, y: np.ndarray) -> Batch:
+        if self.padding == 0:
+            return x, y
+        n, c, h, w = x.shape
+        pad = self.padding
+        padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=x.dtype)
+        padded[:, :, pad:pad + h, pad:pad + w] = x
+        out = np.empty_like(x)
+        offsets = self._rng.integers(0, 2 * pad + 1, size=(n, 2))
+        for i in range(n):
+            dy, dx = offsets[i]
+            out[i] = padded[i, :, dy:dy + h, dx:dx + w]
+        return out, y
+
+
+def compute_channel_stats(x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Compute per-channel mean and std of an ``(N, C, H, W)`` image tensor.
+
+    The returned std is floored at 1e-6 so normalisation never divides by
+    zero on constant channels.
+    """
+    x = np.asarray(x, dtype=np.float32)
+    if x.ndim != 4:
+        raise ValueError(f"expected (N, C, H, W), got shape {x.shape}")
+    mean = x.mean(axis=(0, 2, 3))
+    std = np.maximum(x.std(axis=(0, 2, 3)), 1e-6)
+    return mean, std

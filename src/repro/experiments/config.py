@@ -1,0 +1,239 @@
+"""Experiment configuration.
+
+Two scales are defined:
+
+* :data:`PAPER_SCALE` -- the parameters the paper itself uses (VGG16,
+  1000/100 time steps, full test sets).  Provided for completeness and for
+  users with more compute; nothing in the code prevents running it.
+* :data:`BENCH_SCALE` -- the CPU-friendly defaults the benchmark harness
+  uses: smaller VGG-style networks, shorter time windows and a few hundred
+  evaluation images.  DESIGN.md documents why the qualitative shape of every
+  result is preserved under this scaling.
+
+The per-coding time-step ratio of the paper is preserved at both scales: the
+temporal codes (TTFS/TTAS) use a window roughly 10x shorter than the
+rate-like codes (108 vs 1000 steps in the paper), which is exactly what makes
+a fixed jitter sigma hit them harder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.utils.config import ConfigError, validate_choice
+from repro.utils.validation import check_positive
+
+#: Datasets the paper evaluates on.
+DATASET_NAMES = ("mnist", "cifar10", "cifar100")
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Global knobs that trade fidelity for runtime.
+
+    Attributes
+    ----------
+    name:
+        "paper" or "bench".
+    rate_time_steps:
+        Window length for rate / phase / burst coding.
+    ttfs_time_steps:
+        Window length for TTFS / TTAS coding (shorter, as in the paper).
+    train_size / test_size:
+        Dataset sizes per split.
+    eval_size:
+        Number of test images used per noise level.
+    train_epochs:
+        DNN training epochs.
+    image_size:
+        Spatial size of the CIFAR stand-ins (MNIST stays at 28).
+    """
+
+    name: str
+    rate_time_steps: int
+    ttfs_time_steps: int
+    train_size: int
+    test_size: int
+    eval_size: int
+    train_epochs: int
+    image_size: int
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "rate_time_steps", "ttfs_time_steps", "train_size", "test_size",
+            "eval_size", "train_epochs", "image_size",
+        ):
+            check_positive(attr, getattr(self, attr))
+
+    def time_steps_for(self, coding: str) -> int:
+        """Window length for the given coding scheme at this scale."""
+        if coding.startswith("ttfs") or coding.startswith("ttas"):
+            return self.ttfs_time_steps
+        return self.rate_time_steps
+
+
+#: Parameters as reported in the paper (Sec. V).
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    rate_time_steps=1000,
+    ttfs_time_steps=108,
+    train_size=50000,
+    test_size=10000,
+    eval_size=10000,
+    train_epochs=100,
+    image_size=32,
+)
+
+#: CPU-friendly defaults used by the benchmark harness.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    rate_time_steps=32,
+    ttfs_time_steps=16,
+    train_size=1600,
+    test_size=320,
+    eval_size=40,
+    train_epochs=10,
+    image_size=16,
+)
+
+#: An even smaller scale used by the test suite.
+TEST_SCALE = ExperimentScale(
+    name="test",
+    rate_time_steps=16,
+    ttfs_time_steps=8,
+    train_size=300,
+    test_size=80,
+    eval_size=24,
+    train_epochs=2,
+    image_size=12,
+)
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Which dataset/model pair an experiment runs on.
+
+    Attributes
+    ----------
+    name:
+        "mnist", "cifar10" or "cifar100".
+    architecture:
+        Model family: "mlp" for MNIST, "vgg" for the CIFAR stand-ins (the
+        paper uses VGG16; the bench scale uses the scaled-down VGG variants).
+    vgg_config:
+        Name of the VGG plan to build when architecture == "vgg".
+    learning_rate:
+        DNN training learning rate.
+    """
+
+    name: str
+    architecture: str
+    vgg_config: str = "vgg7"
+    learning_rate: float = 0.02
+
+    def __post_init__(self) -> None:
+        validate_choice("name", self.name, DATASET_NAMES)
+        validate_choice("architecture", self.architecture, ("mlp", "vgg"))
+
+
+_DATASET_CONFIGS: Dict[str, DatasetConfig] = {
+    "mnist": DatasetConfig(name="mnist", architecture="mlp", learning_rate=0.1),
+    "cifar10": DatasetConfig(name="cifar10", architecture="vgg", vgg_config="vgg7"),
+    "cifar100": DatasetConfig(name="cifar100", architecture="vgg", vgg_config="vgg7"),
+}
+
+
+def dataset_config(name: str) -> DatasetConfig:
+    """Look up the configuration of one of the paper's datasets."""
+    key = name.lower()
+    if key not in _DATASET_CONFIGS:
+        raise ConfigError(
+            f"unknown dataset {name!r}; available: {sorted(_DATASET_CONFIGS)}"
+        )
+    return _DATASET_CONFIGS[key]
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One curve of a figure / one row block of a table.
+
+    Attributes
+    ----------
+    coding:
+        Coder name ("rate", "phase", "burst", "ttfs", "ttas").
+    weight_scaling:
+        Apply the weight-scaling compensation.
+    target_duration:
+        Burst duration t_a for TTAS.
+    label:
+        Legend label; derived from the other fields when omitted.
+    """
+
+    coding: str
+    weight_scaling: bool = False
+    target_duration: Optional[int] = None
+    label: Optional[str] = None
+
+    def display_label(self) -> str:
+        """Label used in figure legends and table rows."""
+        if self.label:
+            return self.label
+        base = self.coding.upper() if self.coding in ("ttfs", "ttas") else self.coding.capitalize()
+        if self.coding == "ttas" and self.target_duration is not None:
+            base = f"TTAS({self.target_duration})"
+        return f"{base}+WS" if self.weight_scaling else base
+
+    def coder_kwargs(self) -> Dict[str, int]:
+        """Extra keyword arguments for the coder factory."""
+        if self.coding == "ttas" and self.target_duration is not None:
+            return {"target_duration": int(self.target_duration)}
+        return {}
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """A full noise sweep: dataset, methods, noise axis and levels.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset name.
+    methods:
+        The configurations compared (one per curve / table block).
+    noise_kind:
+        "deletion" or "jitter".
+    levels:
+        Noise levels on the x-axis (deletion probabilities or jitter sigmas).
+    scale:
+        Experiment scale (paper or bench).
+    seed:
+        Seed controlling training, conversion calibration and noise draws.
+    """
+
+    dataset: str
+    methods: Tuple[MethodSpec, ...]
+    noise_kind: str
+    levels: Tuple[float, ...]
+    scale: ExperimentScale = BENCH_SCALE
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        validate_choice("noise_kind", self.noise_kind, ("deletion", "jitter"))
+        if not self.methods:
+            raise ConfigError("a sweep needs at least one method")
+        if not self.levels:
+            raise ConfigError("a sweep needs at least one noise level")
+
+
+#: Noise levels used by the paper.
+PAPER_DELETION_LEVELS: Tuple[float, ...] = tuple(round(0.1 * i, 1) for i in range(0, 10))
+PAPER_JITTER_LEVELS: Tuple[float, ...] = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0)
+
+#: Reduced level grids used by the benchmark harness (same range, fewer points).
+BENCH_DELETION_LEVELS: Tuple[float, ...] = (0.0, 0.2, 0.5, 0.8, 0.9)
+BENCH_JITTER_LEVELS: Tuple[float, ...] = (0.0, 1.0, 2.0, 3.0, 4.0)
+
+#: Noise levels reported in Table I / Table II.
+TABLE1_DELETION_LEVELS: Tuple[float, ...] = (0.0, 0.2, 0.5, 0.8)
+TABLE2_JITTER_LEVELS: Tuple[float, ...] = (0.0, 1.0, 2.0, 3.0)

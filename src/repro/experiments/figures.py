@@ -1,0 +1,190 @@
+"""Per-figure reproduction entry points.
+
+Each function builds the sweep corresponding to one figure of the paper's
+evaluation and returns its :class:`repro.experiments.runner.SweepResult`
+(or, for Fig. 5B, the activation distributions).  The benchmark harness calls
+these and prints the resulting series with
+:func:`repro.experiments.reporting.format_figure_series`.
+
+Figure inventory (paper -> function):
+
+* Fig. 2  accuracy + spikes vs deletion, rate/phase/burst/TTFS     -> :func:`figure2_deletion`
+* Fig. 3  accuracy + spikes vs jitter, rate/phase/burst/TTFS       -> :func:`figure3_jitter`
+* Fig. 4  weight scaling and TTAS(t_a) vs deletion                 -> :func:`figure4_weight_scaling_ttas`
+* Fig. 5B activation distribution under deletion per coding        -> :func:`figure5_activation_distribution`
+* Fig. 6  TTFS vs TTAS(t_a) vs jitter                              -> :func:`figure6_ttas_jitter`
+* Fig. 7  all codings with/without WS + TTAS(5)+WS vs deletion     -> :func:`figure7_deletion_comparison`
+* Fig. 8  rate/phase/burst/TTFS/TTAS(10) vs jitter                 -> :func:`figure8_jitter_comparison`
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.coding.registry import create_coder
+from repro.core.analysis import ActivationDistribution, activation_distribution
+from repro.experiments.config import (
+    BENCH_DELETION_LEVELS,
+    BENCH_JITTER_LEVELS,
+    BENCH_SCALE,
+    ExperimentScale,
+    MethodSpec,
+    SweepConfig,
+)
+from repro.experiments.runner import SweepResult, run_noise_sweep
+from repro.experiments.workloads import PreparedWorkload
+from repro.noise.deletion import DeletionNoise
+
+#: The four baseline codings of Figs. 2/3, in the paper's legend order.
+BASELINE_CODINGS = ("rate", "phase", "burst", "ttfs")
+
+
+def _sweep(
+    dataset: str,
+    methods: Sequence[MethodSpec],
+    noise_kind: str,
+    levels: Optional[Sequence[float]],
+    scale: ExperimentScale,
+    seed: int,
+    workload: Optional[PreparedWorkload],
+    eval_size: Optional[int],
+) -> SweepResult:
+    if levels is None:
+        levels = (
+            BENCH_DELETION_LEVELS if noise_kind == "deletion" else BENCH_JITTER_LEVELS
+        )
+    config = SweepConfig(
+        dataset=dataset,
+        methods=tuple(methods),
+        noise_kind=noise_kind,
+        levels=tuple(levels),
+        scale=scale,
+        seed=seed,
+    )
+    return run_noise_sweep(config, workload=workload, eval_size=eval_size)
+
+
+def figure2_deletion(
+    dataset: str = "cifar10",
+    levels: Optional[Sequence[float]] = None,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workload: Optional[PreparedWorkload] = None,
+    eval_size: Optional[int] = None,
+) -> SweepResult:
+    """Fig. 2: accuracy and spike counts vs deletion probability (no WS)."""
+    methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
+    return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size)
+
+
+def figure3_jitter(
+    dataset: str = "cifar10",
+    levels: Optional[Sequence[float]] = None,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workload: Optional[PreparedWorkload] = None,
+    eval_size: Optional[int] = None,
+) -> SweepResult:
+    """Fig. 3: accuracy and spike counts vs jitter intensity (no WS)."""
+    methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
+    return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size)
+
+
+def figure4_weight_scaling_ttas(
+    dataset: str = "cifar10",
+    levels: Optional[Sequence[float]] = None,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workload: Optional[PreparedWorkload] = None,
+    eval_size: Optional[int] = None,
+    ttas_durations: Sequence[int] = (1, 2, 3, 4, 5),
+) -> SweepResult:
+    """Fig. 4: weight scaling for every coding plus TTAS(t_a)+WS vs deletion."""
+    methods = [MethodSpec(coding=c, weight_scaling=True) for c in BASELINE_CODINGS]
+    methods.extend(
+        MethodSpec(coding="ttas", weight_scaling=True, target_duration=t)
+        for t in ttas_durations
+    )
+    return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size)
+
+
+def figure5_activation_distribution(
+    clean_value: float = 0.8,
+    deletion_probability: float = 0.4,
+    num_steps: int = 32,
+    ttfs_steps: int = 16,
+    trials: int = 400,
+    target_duration: int = 5,
+    seed: int = 0,
+) -> Dict[str, ActivationDistribution]:
+    """Fig. 5B: distribution of the noisy activation per coding scheme.
+
+    Returns one :class:`ActivationDistribution` per coding, for a single clean
+    activation value under deletion noise -- the histogram sketched in the
+    paper (continuous around ``(1-p)A`` for rate-like codes, all-or-none for
+    TTFS, bimodal towards 0 and A for TTAS).
+    """
+    noise = DeletionNoise(deletion_probability)
+    distributions: Dict[str, ActivationDistribution] = {}
+    specs = {
+        "rate": create_coder("rate", num_steps=num_steps),
+        "phase": create_coder("phase", num_steps=num_steps),
+        "burst": create_coder("burst", num_steps=num_steps),
+        "ttfs": create_coder("ttfs", num_steps=ttfs_steps),
+        "ttas": create_coder("ttas", num_steps=ttfs_steps, target_duration=target_duration),
+    }
+    for name, coder in specs.items():
+        distributions[name] = activation_distribution(
+            coder, clean_value, noise, trials=trials, rng=seed
+        )
+    return distributions
+
+
+def figure6_ttas_jitter(
+    dataset: str = "cifar10",
+    levels: Optional[Sequence[float]] = None,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workload: Optional[PreparedWorkload] = None,
+    eval_size: Optional[int] = None,
+    ttas_durations: Sequence[int] = (1, 2, 3, 4, 5, 10),
+) -> SweepResult:
+    """Fig. 6: TTFS vs TTAS(t_a) under jitter (no weight scaling)."""
+    methods = [MethodSpec(coding="ttfs")]
+    methods.extend(
+        MethodSpec(coding="ttas", target_duration=t) for t in ttas_durations
+    )
+    return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size)
+
+
+def figure7_deletion_comparison(
+    dataset: str = "cifar10",
+    levels: Optional[Sequence[float]] = None,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workload: Optional[PreparedWorkload] = None,
+    eval_size: Optional[int] = None,
+    ttas_duration: int = 5,
+) -> SweepResult:
+    """Fig. 7: every coding with and without WS, plus TTAS(5)+WS, vs deletion."""
+    methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
+    methods.extend(MethodSpec(coding=c, weight_scaling=True) for c in BASELINE_CODINGS)
+    methods.append(
+        MethodSpec(coding="ttas", weight_scaling=True, target_duration=ttas_duration)
+    )
+    return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size)
+
+
+def figure8_jitter_comparison(
+    dataset: str = "cifar10",
+    levels: Optional[Sequence[float]] = None,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workload: Optional[PreparedWorkload] = None,
+    eval_size: Optional[int] = None,
+    ttas_duration: int = 10,
+) -> SweepResult:
+    """Fig. 8: rate/phase/burst/TTFS/TTAS(10) under jitter (no WS)."""
+    methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
+    methods.append(MethodSpec(coding="ttas", target_duration=ttas_duration))
+    return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size)

@@ -1,0 +1,176 @@
+"""Generic (method x noise level) sweep runner.
+
+Every figure and table of the paper is a sweep of one or more *methods*
+(coding scheme, with or without weight scaling, with a burst duration for
+TTAS) across a range of noise levels on a fixed trained network.  This module
+runs such sweeps and returns a structured result that the figure/table
+modules and the reporting code consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coding.registry import create_coder
+from repro.core.pipeline import NoiseRobustSNN
+from repro.experiments.config import ExperimentScale, MethodSpec, SweepConfig
+from repro.experiments.workloads import PreparedWorkload, prepare_workload
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_rng
+
+logger = get_logger("experiments.runner")
+
+
+@dataclass
+class MethodCurve:
+    """Accuracy and spike counts of one method across the noise levels.
+
+    Attributes
+    ----------
+    method:
+        The method specification (coding, WS, t_a).
+    levels:
+        Noise levels (x-axis of the figure).
+    accuracies:
+        Accuracy at each level.
+    spike_counts:
+        Total spikes at each level (summed over evaluated samples).
+    spikes_per_sample:
+        Average spikes per classified image at each level.
+    """
+
+    method: MethodSpec
+    levels: List[float]
+    accuracies: List[float]
+    spike_counts: List[int]
+    spikes_per_sample: List[float]
+
+    @property
+    def label(self) -> str:
+        return self.method.display_label()
+
+    def accuracy_at(self, level: float) -> float:
+        """Accuracy at a specific noise level."""
+        return self.accuracies[self.levels.index(level)]
+
+    def average_accuracy(self, exclude_clean: bool = True) -> float:
+        """Mean accuracy over levels (the tables' "Avg." column excludes clean)."""
+        pairs = list(zip(self.levels, self.accuracies))
+        if exclude_clean:
+            pairs = [(lvl, acc) for lvl, acc in pairs if lvl != 0.0] or pairs
+        return float(np.mean([acc for _, acc in pairs]))
+
+
+@dataclass
+class SweepResult:
+    """All curves of one figure/table sweep plus provenance metadata."""
+
+    config: SweepConfig
+    curves: List[MethodCurve]
+    dnn_accuracy: float
+    dataset_name: str
+
+    def curve(self, label: str) -> MethodCurve:
+        """Find a curve by its display label."""
+        for curve in self.curves:
+            if curve.label == label:
+                return curve
+        raise KeyError(f"no curve labelled {label!r}; have {[c.label for c in self.curves]}")
+
+    def labels(self) -> List[str]:
+        return [curve.label for curve in self.curves]
+
+
+def _evaluate_method(
+    workload: PreparedWorkload,
+    method: MethodSpec,
+    noise_kind: str,
+    levels: Sequence[float],
+    scale: ExperimentScale,
+    seed: int,
+    eval_size: Optional[int] = None,
+    batch_size: int = 16,
+) -> MethodCurve:
+    """Evaluate one method at every noise level of the sweep."""
+    num_steps = scale.time_steps_for(method.coding)
+    pipeline = NoiseRobustSNN(
+        network=workload.network,
+        coding=method.coding,
+        num_steps=num_steps,
+        weight_scaling=method.weight_scaling,
+        coder_kwargs=method.coder_kwargs(),
+    )
+    x, y = workload.evaluation_slice(eval_size)
+    accuracies: List[float] = []
+    spike_counts: List[int] = []
+    spikes_per_sample: List[float] = []
+    for level in levels:
+        deletion = level if noise_kind == "deletion" else 0.0
+        jitter = level if noise_kind == "jitter" else 0.0
+        result = pipeline.evaluate(
+            x, y,
+            deletion=deletion,
+            jitter=jitter,
+            batch_size=batch_size,
+            rng=derive_rng(seed, "noise", method.display_label(), level),
+        )
+        accuracies.append(result.accuracy)
+        spike_counts.append(result.total_spikes)
+        spikes_per_sample.append(result.spikes_per_sample)
+        logger.info(
+            "%s | %s %s=%.2f -> acc=%.3f spikes/sample=%.0f",
+            workload.dataset_name, method.display_label(), noise_kind, level,
+            result.accuracy, result.spikes_per_sample,
+        )
+    return MethodCurve(
+        method=method,
+        levels=list(levels),
+        accuracies=accuracies,
+        spike_counts=spike_counts,
+        spikes_per_sample=spikes_per_sample,
+    )
+
+
+def run_noise_sweep(
+    config: SweepConfig,
+    workload: Optional[PreparedWorkload] = None,
+    eval_size: Optional[int] = None,
+    batch_size: int = 16,
+    use_cache: bool = True,
+) -> SweepResult:
+    """Run a full (method x noise level) sweep.
+
+    Parameters
+    ----------
+    config:
+        The sweep description (dataset, methods, noise kind, levels, scale).
+    workload:
+        Reuse an already prepared workload (shared across figures in the
+        benchmark harness); prepared on demand otherwise.
+    eval_size:
+        Override the number of evaluation images.
+    batch_size:
+        Transport-evaluation batch size.
+    use_cache:
+        Forwarded to :func:`prepare_workload` when the workload is built here.
+    """
+    if workload is None:
+        workload = prepare_workload(
+            config.dataset, scale=config.scale, seed=config.seed, use_cache=use_cache
+        )
+    curves = [
+        _evaluate_method(
+            workload, method, config.noise_kind, config.levels,
+            config.scale, config.seed, eval_size=eval_size, batch_size=batch_size,
+        )
+        for method in config.methods
+    ]
+    return SweepResult(
+        config=config,
+        curves=curves,
+        dnn_accuracy=workload.dnn_accuracy,
+        dataset_name=workload.dataset_name,
+    )

@@ -1,0 +1,167 @@
+"""Reproduction of Tables I and II.
+
+Table I reports, per dataset (MNIST, CIFAR-10, CIFAR-100) and per method
+(rate/phase/burst/TTFS with weight scaling, TTAS with weight scaling), the
+accuracy and spike counts at deletion probabilities {clean, 0.2, 0.5, 0.8}
+plus their average.  Table II reports accuracy under jitter sigma
+{clean, 1, 2, 3} for phase/burst/TTFS/TTAS without weight scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.config import (
+    BENCH_SCALE,
+    ExperimentScale,
+    MethodSpec,
+    SweepConfig,
+    TABLE1_DELETION_LEVELS,
+    TABLE2_JITTER_LEVELS,
+)
+from repro.experiments.runner import MethodCurve, SweepResult, run_noise_sweep
+from repro.experiments.workloads import PreparedWorkload, prepare_workload
+
+
+@dataclass
+class TableRow:
+    """One method's row of a results table.
+
+    Attributes
+    ----------
+    dataset / method:
+        Row identity.
+    levels:
+        Noise levels of the columns (0.0 is the "Clean" column).
+    accuracies:
+        Accuracy (%) per column, plus ``average_accuracy`` for "Avg.".
+    spike_counts:
+        Spikes per sample per column (Table I only), plus ``average_spikes``.
+    """
+
+    dataset: str
+    method: str
+    levels: List[float]
+    accuracies: List[float]
+    average_accuracy: float
+    spike_counts: List[float] = field(default_factory=list)
+    average_spikes: float = float("nan")
+
+
+@dataclass
+class TableResult:
+    """A full table: rows grouped by dataset, plus provenance."""
+
+    name: str
+    rows: List[TableRow]
+    noise_kind: str
+    levels: List[float]
+
+    def rows_for(self, dataset: str) -> List[TableRow]:
+        return [row for row in self.rows if row.dataset == dataset]
+
+    def row(self, dataset: str, method: str) -> TableRow:
+        for candidate in self.rows_for(dataset):
+            if candidate.method == method:
+                return candidate
+        raise KeyError(f"no row for ({dataset!r}, {method!r})")
+
+
+def _curve_to_row(dataset: str, curve: MethodCurve, include_spikes: bool) -> TableRow:
+    noisy = [
+        (level, acc, sps)
+        for level, acc, sps in zip(curve.levels, curve.accuracies, curve.spikes_per_sample)
+        if level != 0.0
+    ]
+    average_accuracy = float(np.mean([acc for _, acc, _ in noisy])) if noisy else float("nan")
+    row = TableRow(
+        dataset=dataset,
+        method=curve.label,
+        levels=list(curve.levels),
+        accuracies=list(curve.accuracies),
+        average_accuracy=average_accuracy,
+    )
+    if include_spikes:
+        row.spike_counts = list(curve.spikes_per_sample)
+        row.average_spikes = (
+            float(np.mean([sps for _, _, sps in noisy])) if noisy else float("nan")
+        )
+    return row
+
+
+def _run_table(
+    datasets: Sequence[str],
+    methods: Sequence[MethodSpec],
+    noise_kind: str,
+    levels: Sequence[float],
+    scale: ExperimentScale,
+    seed: int,
+    workloads: Optional[Dict[str, PreparedWorkload]],
+    eval_size: Optional[int],
+    include_spikes: bool,
+    name: str,
+) -> TableResult:
+    rows: List[TableRow] = []
+    for dataset in datasets:
+        workload = None if workloads is None else workloads.get(dataset)
+        config = SweepConfig(
+            dataset=dataset,
+            methods=tuple(methods),
+            noise_kind=noise_kind,
+            levels=tuple(levels),
+            scale=scale,
+            seed=seed,
+        )
+        sweep: SweepResult = run_noise_sweep(config, workload=workload, eval_size=eval_size)
+        rows.extend(
+            _curve_to_row(dataset, curve, include_spikes) for curve in sweep.curves
+        )
+    return TableResult(name=name, rows=rows, noise_kind=noise_kind, levels=list(levels))
+
+
+def table1_deletion(
+    datasets: Sequence[str] = ("mnist", "cifar10", "cifar100"),
+    levels: Sequence[float] = TABLE1_DELETION_LEVELS,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workloads: Optional[Dict[str, PreparedWorkload]] = None,
+    eval_size: Optional[int] = None,
+    ttas_duration: int = 5,
+) -> TableResult:
+    """Table I: accuracy and spike counts under deletion, all methods + WS."""
+    methods = [
+        MethodSpec(coding="rate", weight_scaling=True),
+        MethodSpec(coding="phase", weight_scaling=True),
+        MethodSpec(coding="burst", weight_scaling=True),
+        MethodSpec(coding="ttfs", weight_scaling=True),
+        MethodSpec(coding="ttas", weight_scaling=True, target_duration=ttas_duration),
+    ]
+    return _run_table(
+        datasets, methods, "deletion", levels, scale, seed, workloads, eval_size,
+        include_spikes=True, name="Table I (spike deletion)",
+    )
+
+
+def table2_jitter(
+    datasets: Sequence[str] = ("mnist", "cifar10", "cifar100"),
+    levels: Sequence[float] = TABLE2_JITTER_LEVELS,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workloads: Optional[Dict[str, PreparedWorkload]] = None,
+    eval_size: Optional[int] = None,
+    ttas_duration: int = 10,
+) -> TableResult:
+    """Table II: accuracy under jitter for phase/burst/TTFS/TTAS (no WS)."""
+    methods = [
+        MethodSpec(coding="phase"),
+        MethodSpec(coding="burst"),
+        MethodSpec(coding="ttfs"),
+        MethodSpec(coding="ttas", target_duration=ttas_duration),
+    ]
+    return _run_table(
+        datasets, methods, "jitter", levels, scale, seed, workloads, eval_size,
+        include_spikes=False, name="Table II (spike jitter)",
+    )

@@ -1,0 +1,183 @@
+"""Workload preparation: datasets, trained DNNs and converted networks.
+
+Every figure and table of the paper evaluates noise on a *fixed* trained
+network; training it is the expensive part.  :func:`prepare_workload` builds
+(or loads from an on-disk cache) the trained model and its converted SNN for
+a dataset at a given scale, so the nine benchmark targets share the same
+preparation instead of retraining per figure.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.conversion.converter import ConvertedSNN, convert_dnn_to_snn
+from repro.data.datasets import DatasetSplit
+from repro.data.synthetic import load_dataset
+from repro.experiments.config import (
+    BENCH_SCALE,
+    DatasetConfig,
+    ExperimentScale,
+    dataset_config,
+)
+from repro.nn.model import Sequential
+from repro.nn.training import evaluate_accuracy, train_classifier
+from repro.nn.vgg import build_mlp, build_vgg
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_rng
+
+logger = get_logger("experiments.workloads")
+
+#: Default on-disk cache directory for trained models (overridable with the
+#: ``REPRO_CACHE_DIR`` environment variable).
+DEFAULT_CACHE_DIR = os.path.join(os.path.expanduser("~"), ".cache", "repro-snn")
+
+
+@dataclass
+class PreparedWorkload:
+    """A trained network, its data and its converted spiking form.
+
+    Attributes
+    ----------
+    dataset_name:
+        Name of the dataset ("mnist", "cifar10", "cifar100").
+    data:
+        The train/test split used (synthetic stand-in).
+    model:
+        The trained DNN.
+    network:
+        The converted SNN shared by every method of a sweep.
+    dnn_accuracy:
+        Test accuracy of the analog DNN (upper bound of every SNN result).
+    scale:
+        The experiment scale the workload was prepared at.
+    """
+
+    dataset_name: str
+    data: DatasetSplit
+    model: Sequential
+    network: ConvertedSNN
+    dnn_accuracy: float
+    scale: ExperimentScale
+
+    def evaluation_slice(self, size: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the (images, labels) slice used for noisy evaluations."""
+        count = size if size is not None else self.scale.eval_size
+        count = int(min(count, len(self.data.test)))
+        return self.data.test.x[:count], self.data.test.y[:count]
+
+
+def _build_model(config: DatasetConfig, data: DatasetSplit, scale: ExperimentScale, rng):
+    if config.architecture == "mlp":
+        features = int(np.prod(data.image_shape))
+        return build_mlp(
+            features, hidden_units=(256, 128), num_classes=data.num_classes,
+            dropout=0.2, rng=rng, name=f"mlp-{config.name}",
+        )
+    return build_vgg(
+        config.vgg_config,
+        input_shape=data.image_shape,
+        num_classes=data.num_classes,
+        dense_units=(128,),
+        dropout=0.25,
+        rng=rng,
+        name=f"{config.vgg_config}-{config.name}",
+    )
+
+
+def _cache_path(cache_dir: str, dataset: str, scale: ExperimentScale, seed: int) -> str:
+    return os.path.join(
+        cache_dir, f"{dataset}-{scale.name}-seed{seed}-weights.npz"
+    )
+
+
+def prepare_workload(
+    dataset: str,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    verbose: bool = False,
+) -> PreparedWorkload:
+    """Generate data, train (or load) the DNN and convert it to an SNN.
+
+    Parameters
+    ----------
+    dataset:
+        "mnist", "cifar10" or "cifar100".
+    scale:
+        Experiment scale (defaults to the CPU-friendly bench scale).
+    seed:
+        Seed controlling data generation, initialisation and training order.
+    cache_dir:
+        Directory for the trained-weight cache; defaults to
+        ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-snn``.
+    use_cache:
+        Load/store trained weights from the cache (training is the dominant
+        cost of every benchmark, so this is on by default).
+    """
+    config = dataset_config(dataset)
+    rng = derive_rng(seed, "workload", dataset, scale.name)
+
+    if config.name == "mnist":
+        data = load_dataset(
+            config.name,
+            train_size=scale.train_size,
+            test_size=scale.test_size,
+            rng=derive_rng(rng, "data"),
+        )
+    else:
+        # The CIFAR stand-ins accept the scale's (reduced) spatial size.
+        from repro.data.synthetic import synthetic_cifar10, synthetic_cifar100
+
+        factory = synthetic_cifar10 if config.name == "cifar10" else synthetic_cifar100
+        data = factory(
+            train_size=scale.train_size,
+            test_size=scale.test_size,
+            rng=derive_rng(rng, "data"),
+            image_size=scale.image_size,
+        )
+
+    model = _build_model(config, data, scale, derive_rng(rng, "init"))
+
+    cache_dir = cache_dir or os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+    cache_file = _cache_path(cache_dir, config.name, scale, seed)
+    loaded = False
+    if use_cache and os.path.exists(cache_file):
+        try:
+            model.load(cache_file)
+            loaded = True
+            logger.info("loaded cached weights from %s", cache_file)
+        except (KeyError, ValueError) as error:
+            logger.warning("ignoring stale cache %s (%s)", cache_file, error)
+    if not loaded:
+        train_classifier(
+            model,
+            data.train,
+            data.test,
+            epochs=scale.train_epochs,
+            batch_size=32 if config.architecture == "vgg" else 64,
+            learning_rate=config.learning_rate,
+            rng=derive_rng(rng, "train"),
+            verbose=verbose,
+        )
+        if use_cache:
+            os.makedirs(cache_dir, exist_ok=True)
+            model.save(cache_file)
+            logger.info("cached trained weights at %s", cache_file)
+
+    dnn_accuracy = evaluate_accuracy(model, data.test)
+    calibration = data.train.x[: min(128, len(data.train))]
+    network = convert_dnn_to_snn(model, calibration)
+    return PreparedWorkload(
+        dataset_name=config.name,
+        data=data,
+        model=model,
+        network=network,
+        dnn_accuracy=dnn_accuracy,
+        scale=scale,
+    )

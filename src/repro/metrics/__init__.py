@@ -1,0 +1,27 @@
+"""Evaluation metrics and robustness summaries."""
+
+from repro.metrics.accuracy import accuracy_score, confusion_matrix, top_k_accuracy
+from repro.metrics.spikes import (
+    SpikeStatistics,
+    energy_proxy,
+    spike_statistics,
+)
+from repro.metrics.robustness import (
+    RobustnessSummary,
+    area_under_accuracy_curve,
+    relative_degradation,
+    summarize_noise_sweep,
+)
+
+__all__ = [
+    "accuracy_score",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "SpikeStatistics",
+    "spike_statistics",
+    "energy_proxy",
+    "RobustnessSummary",
+    "summarize_noise_sweep",
+    "relative_degradation",
+    "area_under_accuracy_curve",
+]

@@ -1,0 +1,52 @@
+"""Classification accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+def accuracy_score(predictions: np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 accuracy of predicted class indices (or logits) against labels."""
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    if predictions.shape != labels.shape:
+        raise ValueError(
+            f"predictions and labels disagree on shape: "
+            f"{predictions.shape} vs {labels.shape}"
+        )
+    if predictions.size == 0:
+        return float("nan")
+    return float((predictions == labels).mean())
+
+
+def top_k_accuracy(logits: np.ndarray, labels: np.ndarray, k: int = 5) -> float:
+    """Top-k accuracy from raw logits."""
+    check_positive("k", k)
+    logits = np.asarray(logits)
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ValueError(f"logits must be 2-D, got shape {logits.shape}")
+    if logits.shape[0] != labels.shape[0]:
+        raise ValueError("logits and labels disagree on the number of samples")
+    k = min(int(k), logits.shape[1])
+    top_k = np.argsort(logits, axis=1)[:, -k:]
+    hits = (top_k == labels[:, None]).any(axis=1)
+    return float(hits.mean()) if hits.size else float("nan")
+
+
+def confusion_matrix(
+    predictions: np.ndarray, labels: np.ndarray, num_classes: int
+) -> np.ndarray:
+    """Confusion matrix with true classes on rows and predictions on columns."""
+    check_positive("num_classes", num_classes)
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.ndim == 2:
+        predictions = predictions.argmax(axis=1)
+    matrix = np.zeros((int(num_classes), int(num_classes)), dtype=np.int64)
+    np.add.at(matrix, (labels.astype(int), predictions.astype(int)), 1)
+    return matrix

@@ -1,0 +1,441 @@
+"""Core neural-network layers with explicit forward/backward passes.
+
+Every layer follows the same contract:
+
+* ``forward(x, training=False)`` caches whatever the backward pass needs and
+  returns the layer output,
+* ``backward(grad_output)`` returns the gradient with respect to the layer
+  input and fills ``layer.grads`` for parameters,
+* ``params`` / ``grads`` are dictionaries keyed by parameter name.
+
+The convolution uses an im2col formulation: patches are unfolded into a
+matrix so the convolution becomes a single matrix multiplication, which is
+the only way to get acceptable throughput from pure numpy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, zeros_init
+from repro.utils.rng import RngLike, default_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+class Layer:
+    """Base class for all layers."""
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or type(self).__name__
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+
+    # -- interface ---------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for input ``x``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Back-propagate ``grad_output`` and return the input gradient."""
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------
+    @property
+    def has_params(self) -> bool:
+        """True when the layer owns trainable parameters."""
+        return bool(self.params)
+
+    def zero_grads(self) -> None:
+        """Reset accumulated gradients to zero."""
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalars in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class Identity(Layer):
+    """Pass-through layer, useful as a placeholder in model surgery."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return x
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        return grad_output
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features / out_features:
+        Input and output dimensionality.
+    use_bias:
+        Include an additive bias term (default True).
+    rng:
+        Seed or generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        use_bias: bool = True,
+        rng: RngLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        check_positive("in_features", in_features)
+        check_positive("out_features", out_features)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.use_bias = bool(use_bias)
+        self.params["weight"] = he_normal((self.in_features, self.out_features), rng)
+        if self.use_bias:
+            self.params["bias"] = zeros_init((self.out_features,))
+        self.zero_grads()
+        self._cache_x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"{self.name}: expected input of shape (N, {self.in_features}), "
+                f"got {x.shape}"
+            )
+        self._cache_x = x if training else None
+        out = x @ self.params["weight"]
+        if self.use_bias:
+            out = out + self.params["bias"]
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache_x is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(training=True)")
+        x = self._cache_x
+        self.grads["weight"] = x.T @ grad_output
+        if self.use_bias:
+            self.grads["bias"] = grad_output.sum(axis=0)
+        return grad_output @ self.params["weight"].T
+
+
+class ReLU(Layer):
+    """Rectified linear unit.  The only activation used by the conversion path."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        mask = x > 0
+        self._mask = mask if training else None
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(training=True)")
+        return grad_output * self._mask
+
+
+class Flatten(Layer):
+    """Flatten all dimensions except the batch dimension."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name=name)
+        self._input_shape: Optional[Tuple[int, ...]] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError(f"{self.name}: backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout.
+
+    During training each unit is zeroed with probability ``p`` and survivors
+    are scaled by ``1/(1-p)``; at inference the layer is the identity.  The
+    paper points out that dropout during DNN training is what makes TTFS
+    coding tolerate all-or-none activation loss, so this layer matters for
+    reproducing Fig. 2.
+    """
+
+    def __init__(self, p: float = 0.5, rng: RngLike = None, name: Optional[str] = None):
+        super().__init__(name=name)
+        check_probability("p", p)
+        if p >= 1.0:
+            raise ValueError("dropout probability must be < 1")
+        self.p = float(p)
+        self._rng = default_rng(rng)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype) / keep
+        self._mask = mask
+        return x * mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask
+
+
+# ---------------------------------------------------------------------------
+# Convolution / pooling (im2col formulation)
+# ---------------------------------------------------------------------------
+
+def im2col(
+    x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, padding: int
+) -> Tuple[np.ndarray, int, int]:
+    """Unfold image patches into a 2-D matrix.
+
+    Returns ``(columns, out_h, out_w)`` where ``columns`` has shape
+    ``(N * out_h * out_w, C * kernel_h * kernel_w)``.
+    """
+    n, c, h, w = x.shape
+    out_h = (h + 2 * padding - kernel_h) // stride + 1
+    out_w = (w + 2 * padding - kernel_w) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"kernel {kernel_h}x{kernel_w} with stride {stride} and padding "
+            f"{padding} does not fit input of spatial size {h}x{w}"
+        )
+    img = np.pad(
+        x, [(0, 0), (0, 0), (padding, padding), (padding, padding)], mode="constant"
+    )
+    col = np.zeros((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            col[:, :, ky, kx, :, :] = img[:, :, ky:y_max:stride, kx:x_max:stride]
+    columns = col.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    return columns, out_h, out_w
+
+
+def col2im(
+    columns: np.ndarray,
+    input_shape: Tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    padding: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: fold columns back into an image tensor."""
+    n, c, h, w = input_shape
+    out_h = (h + 2 * padding - kernel_h) // stride + 1
+    out_w = (w + 2 * padding - kernel_w) // stride + 1
+    col = columns.reshape(n, out_h, out_w, c, kernel_h, kernel_w).transpose(
+        0, 3, 4, 5, 1, 2
+    )
+    img = np.zeros(
+        (n, c, h + 2 * padding + stride - 1, w + 2 * padding + stride - 1),
+        dtype=columns.dtype,
+    )
+    for ky in range(kernel_h):
+        y_max = ky + stride * out_h
+        for kx in range(kernel_w):
+            x_max = kx + stride * out_w
+            img[:, :, ky:y_max:stride, kx:x_max:stride] += col[:, :, ky, kx, :, :]
+    return img[:, :, padding:h + padding, padding:w + padding]
+
+
+class Conv2D(Layer):
+    """2-D convolution (cross-correlation) over ``(N, C, H, W)`` inputs.
+
+    Parameters
+    ----------
+    in_channels / out_channels:
+        Channel counts.
+    kernel_size:
+        Square kernel side length.
+    stride, padding:
+        Standard convolution hyper-parameters.
+    use_bias:
+        Include a per-output-channel bias.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        use_bias: bool = True,
+        rng: RngLike = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        check_positive("in_channels", in_channels)
+        check_positive("out_channels", out_channels)
+        check_positive("kernel_size", kernel_size)
+        check_positive("stride", stride)
+        if padding < 0:
+            raise ValueError(f"padding must be >= 0, got {padding}")
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = int(kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.use_bias = bool(use_bias)
+        weight_shape = (
+            self.out_channels, self.in_channels, self.kernel_size, self.kernel_size
+        )
+        self.params["weight"] = he_normal(weight_shape, rng)
+        if self.use_bias:
+            self.params["bias"] = zeros_init((self.out_channels,))
+        self.zero_grads()
+        self._cache: Optional[Tuple[np.ndarray, Tuple[int, int, int, int]]] = None
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Spatial output shape for a single-image input shape ``(C, H, W)``."""
+        _, h, w = input_shape
+        out_h = (h + 2 * self.padding - self.kernel_size) // self.stride + 1
+        out_w = (w + 2 * self.padding - self.kernel_size) // self.stride + 1
+        return (self.out_channels, out_h, out_w)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ValueError(
+                f"{self.name}: expected input (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        columns, out_h, out_w = im2col(
+            x, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        weight_matrix = self.params["weight"].reshape(self.out_channels, -1)
+        out = columns @ weight_matrix.T
+        if self.use_bias:
+            out = out + self.params["bias"]
+        out = out.reshape(x.shape[0], out_h, out_w, self.out_channels)
+        out = out.transpose(0, 3, 1, 2)
+        self._cache = (columns, x.shape) if training else None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(training=True)")
+        columns, input_shape = self._cache
+        n, _, out_h, out_w = grad_output.shape
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        weight_matrix = self.params["weight"].reshape(self.out_channels, -1)
+        self.grads["weight"] = (grad_matrix.T @ columns).reshape(
+            self.params["weight"].shape
+        )
+        if self.use_bias:
+            self.grads["bias"] = grad_matrix.sum(axis=0)
+        grad_columns = grad_matrix @ weight_matrix
+        return col2im(
+            grad_columns, input_shape, self.kernel_size, self.kernel_size,
+            self.stride, self.padding,
+        )
+
+
+class _Pool2D(Layer):
+    """Shared plumbing for max and average pooling."""
+
+    def __init__(
+        self,
+        pool_size: int = 2,
+        stride: Optional[int] = None,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        check_positive("pool_size", pool_size)
+        self.pool_size = int(pool_size)
+        self.stride = int(stride) if stride is not None else self.pool_size
+        check_positive("stride", self.stride)
+        self._cache: Optional[Tuple] = None
+
+    def output_shape(self, input_shape: Tuple[int, int, int]) -> Tuple[int, int, int]:
+        """Spatial output shape for a single-image input shape ``(C, H, W)``."""
+        c, h, w = input_shape
+        out_h = (h - self.pool_size) // self.stride + 1
+        out_w = (w - self.pool_size) // self.stride + 1
+        return (c, out_h, out_w)
+
+    def _unfold(self, x: np.ndarray) -> Tuple[np.ndarray, int, int]:
+        n, c, h, w = x.shape
+        out_h = (h - self.pool_size) // self.stride + 1
+        out_w = (w - self.pool_size) // self.stride + 1
+        if out_h <= 0 or out_w <= 0:
+            raise ValueError(
+                f"{self.name}: pool size {self.pool_size} does not fit input {h}x{w}"
+            )
+        columns, _, _ = im2col(x, self.pool_size, self.pool_size, self.stride, 0)
+        # columns: (N*out_h*out_w, C*k*k) -> (N*out_h*out_w, C, k*k)
+        columns = columns.reshape(-1, c, self.pool_size * self.pool_size)
+        return columns, out_h, out_w
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling.  Used by standard VGG; note that DNN-to-SNN conversion
+    pipelines usually prefer average pooling (see :func:`repro.nn.vgg.build_vgg`)."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        columns, out_h, out_w = self._unfold(x)
+        # columns: (N*out_h*out_w, C, k*k)
+        max_idx = columns.argmax(axis=2)
+        out = columns.max(axis=2)
+        out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+        self._cache = (max_idx, x.shape, out_h, out_w) if training else None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(training=True)")
+        max_idx, input_shape, out_h, out_w = self._cache
+        n, c, _, _ = input_shape
+        k2 = self.pool_size * self.pool_size
+        grad = grad_output.transpose(0, 2, 3, 1).reshape(-1, c)
+        grad_cols = np.zeros((grad.shape[0], c, k2), dtype=grad_output.dtype)
+        rows = np.arange(grad.shape[0])[:, None]
+        cols = np.arange(c)[None, :]
+        grad_cols[rows, cols, max_idx] = grad
+        grad_cols = grad_cols.reshape(grad.shape[0], c * k2)
+        return col2im(
+            grad_cols, input_shape, self.pool_size, self.pool_size, self.stride, 0
+        )
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling -- the pooling used by the conversion-friendly VGG variants."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, c, h, w = x.shape
+        columns, out_h, out_w = self._unfold(x)
+        out = columns.mean(axis=2)
+        out = out.reshape(n, out_h, out_w, c).transpose(0, 3, 1, 2)
+        self._cache = (x.shape, out_h, out_w) if training else None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(training=True)")
+        input_shape, out_h, out_w = self._cache
+        n, c, _, _ = input_shape
+        k2 = self.pool_size * self.pool_size
+        grad = grad_output.transpose(0, 2, 3, 1).reshape(-1, c)
+        grad_cols = np.repeat(grad[:, :, None] / k2, k2, axis=2)
+        grad_cols = grad_cols.reshape(grad.shape[0], c * k2)
+        return col2im(
+            grad_cols, input_shape, self.pool_size, self.pool_size, self.stride, 0
+        )

@@ -1,0 +1,102 @@
+"""Batch normalisation.
+
+Only the 2-D (per-channel) variant used inside convolutional stacks is
+implemented.  At conversion time the affine transform and the running
+statistics are folded into the preceding convolution's weights and biases
+(see :func:`repro.conversion.normalization.fold_batch_norm`), so the SNN never
+sees a separate normalisation step -- exactly as DNN-to-SNN conversion
+pipelines do in practice.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.utils.validation import check_positive
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalisation over ``(N, C, H, W)`` tensors.
+
+    Parameters
+    ----------
+    num_features:
+        Number of channels ``C``.
+    momentum:
+        Running-statistics momentum (new = (1-m)*old + m*batch).
+    eps:
+        Numerical stabiliser added to the variance.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        momentum: float = 0.1,
+        eps: float = 1e-5,
+        name: Optional[str] = None,
+    ):
+        super().__init__(name=name)
+        check_positive("num_features", num_features)
+        if not 0.0 < momentum <= 1.0:
+            raise ValueError(f"momentum must lie in (0, 1], got {momentum}")
+        check_positive("eps", eps)
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.params["gamma"] = np.ones(self.num_features, dtype=np.float32)
+        self.params["beta"] = np.zeros(self.num_features, dtype=np.float32)
+        self.running_mean = np.zeros(self.num_features, dtype=np.float32)
+        self.running_var = np.ones(self.num_features, dtype=np.float32)
+        self.zero_grads()
+        self._cache = None
+
+    def _reshape(self, v: np.ndarray) -> np.ndarray:
+        return v.reshape(1, self.num_features, 1, 1)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.num_features:
+            raise ValueError(
+                f"{self.name}: expected (N, {self.num_features}, H, W), got {x.shape}"
+            )
+        if training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - self._reshape(mean)) * self._reshape(inv_std)
+        out = self._reshape(self.params["gamma"]) * x_hat + self._reshape(
+            self.params["beta"]
+        )
+        if training:
+            self._cache = (x_hat, inv_std)
+        else:
+            self._cache = None
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError(f"{self.name}: backward called before forward(training=True)")
+        x_hat, inv_std = self._cache
+        n, _, h, w = grad_output.shape
+        m = n * h * w
+        self.grads["gamma"] = (grad_output * x_hat).sum(axis=(0, 2, 3))
+        self.grads["beta"] = grad_output.sum(axis=(0, 2, 3))
+        gamma = self._reshape(self.params["gamma"])
+        grad_xhat = grad_output * gamma
+        sum_grad_xhat = grad_xhat.sum(axis=(0, 2, 3), keepdims=True)
+        sum_grad_xhat_xhat = (grad_xhat * x_hat).sum(axis=(0, 2, 3), keepdims=True)
+        grad_input = (
+            grad_xhat - sum_grad_xhat / m - x_hat * sum_grad_xhat_xhat / m
+        ) * self._reshape(inv_std)
+        return grad_input

@@ -1,0 +1,63 @@
+"""Learning-rate schedules.
+
+A schedule is a callable ``schedule(epoch) -> learning_rate``.  The trainer
+calls it at the start of every epoch and pushes the result into the
+optimiser.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.utils.validation import check_positive
+
+
+class ConstantSchedule:
+    """A constant learning rate."""
+
+    def __init__(self, learning_rate: float):
+        check_positive("learning_rate", learning_rate)
+        self.learning_rate = float(learning_rate)
+
+    def __call__(self, epoch: int) -> float:
+        return self.learning_rate
+
+
+class StepSchedule:
+    """Multiply the learning rate by ``gamma`` at each listed milestone epoch."""
+
+    def __init__(
+        self, learning_rate: float, milestones: Sequence[int], gamma: float = 0.1
+    ):
+        check_positive("learning_rate", learning_rate)
+        check_positive("gamma", gamma)
+        self.learning_rate = float(learning_rate)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = float(gamma)
+
+    def __call__(self, epoch: int) -> float:
+        factor = 1.0
+        for milestone in self.milestones:
+            if epoch >= milestone:
+                factor *= self.gamma
+        return self.learning_rate * factor
+
+
+class CosineSchedule:
+    """Cosine annealing from the base rate down to ``min_learning_rate``."""
+
+    def __init__(
+        self, learning_rate: float, total_epochs: int, min_learning_rate: float = 1e-5
+    ):
+        check_positive("learning_rate", learning_rate)
+        check_positive("total_epochs", total_epochs)
+        check_positive("min_learning_rate", min_learning_rate)
+        self.learning_rate = float(learning_rate)
+        self.total_epochs = int(total_epochs)
+        self.min_learning_rate = float(min_learning_rate)
+
+    def __call__(self, epoch: int) -> float:
+        progress = min(max(epoch, 0), self.total_epochs) / self.total_epochs
+        cosine = 0.5 * (1.0 + math.cos(math.pi * progress))
+        return self.min_learning_rate + (self.learning_rate - self.min_learning_rate) * cosine

@@ -1,0 +1,25 @@
+"""Spike-train noise models.
+
+The paper models the dynamic noise of analog neuromorphic hardware as noisy
+*output spikes* rather than noisy parameters (Sec. II-B): spikes are deleted
+with probability ``p`` or shifted in time by quantised Gaussian jitter with
+standard deviation ``sigma``.  This package implements exactly those two
+transforms plus a composite injector and, as an extension, the parametric
+weight-noise model used by earlier work for comparison.
+"""
+
+from repro.noise.base import IdentityNoise, SpikeNoise
+from repro.noise.deletion import DeletionNoise
+from repro.noise.jitter import JitterNoise
+from repro.noise.injector import NoiseInjector
+from repro.noise.weights import GaussianWeightNoise, apply_weight_noise
+
+__all__ = [
+    "SpikeNoise",
+    "IdentityNoise",
+    "DeletionNoise",
+    "JitterNoise",
+    "NoiseInjector",
+    "GaussianWeightNoise",
+    "apply_weight_noise",
+]

@@ -1,0 +1,45 @@
+"""Noise-model interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.snn.spikes import SpikeTrainArray
+from repro.utils.rng import RngLike, default_rng
+
+
+class SpikeNoise:
+    """Base class of spike-train noise models.
+
+    A noise model is a stochastic transform of a :class:`SpikeTrainArray`.
+    Implementations must not mutate the input train.
+    """
+
+    #: Registry-style name used in experiment configs and reports.
+    name: str = "noise"
+
+    def apply(self, train: SpikeTrainArray, rng: RngLike = None) -> SpikeTrainArray:
+        """Return a noisy copy of ``train``."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short human-readable description used in table/figure captions."""
+        return self.name
+
+    def __call__(self, train: SpikeTrainArray, rng: RngLike = None) -> SpikeTrainArray:
+        return self.apply(train, rng=rng)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class IdentityNoise(SpikeNoise):
+    """The no-noise baseline ("Clean" rows of the paper's tables)."""
+
+    name = "clean"
+
+    def apply(self, train: SpikeTrainArray, rng: RngLike = None) -> SpikeTrainArray:
+        return train.copy()
+
+    def describe(self) -> str:
+        return "clean"

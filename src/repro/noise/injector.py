@@ -1,0 +1,58 @@
+"""Composite noise injection."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.noise.base import IdentityNoise, SpikeNoise
+from repro.noise.deletion import DeletionNoise
+from repro.noise.jitter import JitterNoise
+from repro.snn.spikes import SpikeTrainArray
+from repro.utils.rng import RngLike, derive_rng
+
+
+class NoiseInjector(SpikeNoise):
+    """Apply a sequence of noise models one after the other.
+
+    The injector is itself a :class:`SpikeNoise`, so experiments can treat a
+    combined "deletion then jitter" corruption exactly like a single model.
+    Each constituent model receives an independent random stream derived from
+    the caller's generator, so adding a model never changes the realisation
+    of the others.
+    """
+
+    name = "composite"
+
+    def __init__(self, models: Sequence[SpikeNoise]):
+        self.models: List[SpikeNoise] = [m for m in models if m is not None]
+
+    @classmethod
+    def from_levels(
+        cls,
+        deletion_probability: float = 0.0,
+        jitter_sigma: float = 0.0,
+        jitter_mode: str = "clip",
+    ) -> "NoiseInjector":
+        """Build an injector from scalar noise levels (0 disables a model)."""
+        models: List[SpikeNoise] = []
+        if deletion_probability > 0:
+            models.append(DeletionNoise(deletion_probability))
+        if jitter_sigma > 0:
+            models.append(JitterNoise(jitter_sigma, mode=jitter_mode))
+        if not models:
+            models.append(IdentityNoise())
+        return cls(models)
+
+    def apply(self, train: SpikeTrainArray, rng: RngLike = None) -> SpikeTrainArray:
+        result = train
+        for index, model in enumerate(self.models):
+            result = model.apply(result, rng=derive_rng(rng, model.name, index))
+        return result if result is not train else train.copy()
+
+    def describe(self) -> str:
+        if not self.models:
+            return "clean"
+        return " + ".join(model.describe() for model in self.models)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"NoiseInjector({self.models!r})"

@@ -1,0 +1,235 @@
+"""Spiking neuron models.
+
+All models are vectorised over an arbitrary population shape: the state holds
+one membrane potential (plus bookkeeping) per neuron and ``step`` advances the
+whole population by one time step.
+
+Three models are provided:
+
+* :class:`IFNeuron` -- the classic integrate-and-fire neuron used by
+  rate/phase/burst conversion SNNs, with reset-by-subtraction (soft reset,
+  the variant shown to preserve conversion accuracy) or reset-to-zero.
+* :class:`TTFSNeuron` -- fires exactly once (time-to-first-spike coding) and
+  then stays silent; supports the exponentially decaying dynamic threshold of
+  T2FSNN.
+* :class:`IntegrateFireOrBurstNeuron` -- the paper's simplified
+  integrate-and-fire-or-burst model (Eq. 4): no reset before the first spike,
+  a threshold-subtracting burst of ``target_duration`` spikes starting at the
+  first spike time, and an infinite reset afterwards.  This is the neuron
+  that generates TTAS spike trains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class NeuronState:
+    """Mutable per-population state advanced by the neuron models.
+
+    Attributes
+    ----------
+    membrane:
+        Membrane potential ``u`` per neuron.
+    fired:
+        Whether each neuron has emitted its first spike yet.
+    burst_remaining:
+        Remaining spikes in the ongoing phasic burst (IFB model only).
+    refractory:
+        Neurons that are permanently silenced (the ``-inf`` branch of Eq. 4,
+        and TTFS neurons after their single spike).
+    step_index:
+        Number of completed time steps.
+    """
+
+    membrane: np.ndarray
+    fired: np.ndarray
+    burst_remaining: np.ndarray
+    refractory: np.ndarray
+    step_index: int = 0
+
+    @classmethod
+    def zeros(cls, population_shape: Tuple[int, ...]) -> "NeuronState":
+        shape = tuple(int(s) for s in population_shape)
+        return cls(
+            membrane=np.zeros(shape, dtype=np.float64),
+            fired=np.zeros(shape, dtype=bool),
+            burst_remaining=np.zeros(shape, dtype=np.int32),
+            refractory=np.zeros(shape, dtype=bool),
+        )
+
+
+class SpikingNeuron:
+    """Base class for vectorised spiking neuron models."""
+
+    def init_state(self, population_shape: Tuple[int, ...]) -> NeuronState:
+        """Fresh state for a population of the given shape."""
+        return NeuronState.zeros(population_shape)
+
+    def step(self, state: NeuronState, input_current: np.ndarray) -> np.ndarray:
+        """Advance one time step; return the integer spike array."""
+        raise NotImplementedError
+
+
+class IFNeuron(SpikingNeuron):
+    """Integrate-and-fire neuron with configurable reset.
+
+    Parameters
+    ----------
+    threshold:
+        Firing threshold ``theta``.
+    reset:
+        ``"subtract"`` (reset by subtraction, default -- the conversion
+        literature's choice because it preserves the residual potential) or
+        ``"zero"`` (hard reset).
+    allow_multiple_spikes:
+        When True a neuron whose membrane exceeds ``k * threshold`` emits
+        ``k`` spikes in the same step (used by burst-capable layers); when
+        False at most one spike per step is emitted.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 1.0,
+        reset: str = "subtract",
+        allow_multiple_spikes: bool = False,
+    ):
+        check_positive("threshold", threshold)
+        if reset not in ("subtract", "zero"):
+            raise ValueError(f"reset must be 'subtract' or 'zero', got {reset!r}")
+        self.threshold = float(threshold)
+        self.reset = reset
+        self.allow_multiple_spikes = bool(allow_multiple_spikes)
+
+    def step(self, state: NeuronState, input_current: np.ndarray) -> np.ndarray:
+        state.membrane += input_current
+        if self.allow_multiple_spikes:
+            spikes = np.floor_divide(
+                np.maximum(state.membrane, 0.0), self.threshold
+            ).astype(np.int16)
+        else:
+            spikes = (state.membrane >= self.threshold).astype(np.int16)
+        if self.reset == "subtract":
+            state.membrane -= spikes * self.threshold
+        else:
+            state.membrane = np.where(spikes > 0, 0.0, state.membrane)
+        state.fired |= spikes > 0
+        state.step_index += 1
+        return spikes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IFNeuron(threshold={self.threshold}, reset={self.reset!r})"
+
+
+class TTFSNeuron(SpikingNeuron):
+    """Time-to-first-spike neuron: fires at most once.
+
+    The effective threshold decays exponentially over time
+    (``theta(t) = threshold * exp(-t / tau)`` when ``tau`` is given), which is
+    the discrete version of the T2FSNN dynamic threshold: a weakly driven
+    neuron eventually crosses the falling threshold and fires late, encoding a
+    small activation.
+    """
+
+    def __init__(self, threshold: float = 1.0, tau: Optional[float] = None):
+        check_positive("threshold", threshold)
+        if tau is not None:
+            check_positive("tau", tau)
+        self.threshold = float(threshold)
+        self.tau = float(tau) if tau is not None else None
+
+    def threshold_at(self, step: int) -> float:
+        """Dynamic threshold value at time step ``step``."""
+        if self.tau is None:
+            return self.threshold
+        return self.threshold * float(np.exp(-step / self.tau))
+
+    def step(self, state: NeuronState, input_current: np.ndarray) -> np.ndarray:
+        state.membrane += input_current
+        theta = self.threshold_at(state.step_index)
+        eligible = (~state.fired) & (~state.refractory)
+        spikes = (eligible & (state.membrane >= theta)).astype(np.int16)
+        newly_fired = spikes > 0
+        state.fired |= newly_fired
+        state.refractory |= newly_fired
+        state.step_index += 1
+        return spikes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TTFSNeuron(threshold={self.threshold}, tau={self.tau})"
+
+
+class IntegrateFireOrBurstNeuron(SpikingNeuron):
+    """Simplified integrate-and-fire-or-burst neuron (paper Eq. 4).
+
+    The reset function is
+
+    ``eta(t) = 0``            before the first spike (plain integration),
+    ``eta(t) = theta(t)``     during the burst window ``[t1, t1 + t_a)``
+                              (threshold subtraction, neuron keeps firing),
+    ``eta(t) = -inf``         afterwards (permanently silent).
+
+    With a constant drive this produces the phasic-burst pattern the paper
+    uses for TTAS coding: a group of ``target_duration`` spikes starting at
+    the time-to-first-spike, then silence.  The model is implementable with a
+    counter and a gate, as the paper notes.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 1.0,
+        target_duration: int = 3,
+        tau: Optional[float] = None,
+    ):
+        check_positive("threshold", threshold)
+        check_positive("target_duration", target_duration)
+        if tau is not None:
+            check_positive("tau", tau)
+        self.threshold = float(threshold)
+        self.target_duration = int(target_duration)
+        self.tau = float(tau) if tau is not None else None
+
+    def threshold_at(self, step: int) -> float:
+        """Dynamic threshold value at time step ``step`` (same form as TTFS)."""
+        if self.tau is None:
+            return self.threshold
+        return self.threshold * float(np.exp(-step / self.tau))
+
+    def step(self, state: NeuronState, input_current: np.ndarray) -> np.ndarray:
+        state.membrane += input_current
+        theta = self.threshold_at(state.step_index)
+
+        bursting = state.burst_remaining > 0
+        eligible = (~state.fired) & (~state.refractory)
+        first_spike = eligible & (state.membrane >= theta)
+
+        spikes = (first_spike | bursting).astype(np.int16)
+
+        # Reset eta(t) = theta(t) during the burst window: subtract threshold.
+        state.membrane = np.where(first_spike | bursting,
+                                  state.membrane - theta, state.membrane)
+
+        # Counter/gate bookkeeping.
+        state.burst_remaining = np.where(
+            first_spike, self.target_duration - 1,
+            np.maximum(state.burst_remaining - bursting.astype(np.int32), 0),
+        )
+        state.fired |= first_spike
+        finished = state.fired & (state.burst_remaining == 0) & ~first_spike
+        finished |= state.fired & (self.target_duration == 1)
+        # eta(t) = -inf once the burst is over: silence forever.
+        state.refractory |= finished
+        state.step_index += 1
+        return spikes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IntegrateFireOrBurstNeuron(threshold={self.threshold}, "
+            f"target_duration={self.target_duration}, tau={self.tau})"
+        )

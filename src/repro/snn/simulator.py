@@ -1,0 +1,206 @@
+"""Time-stepped SNN simulator.
+
+This is the faithful (and therefore slow) evaluation path: every layer is a
+population of spiking neurons advanced step by step, spikes travel between
+layers weighted by the coder's PSC kernel, and the output layer accumulates
+membrane potential that is read out as the classification score.
+
+It exists for two reasons:
+
+* it demonstrates that the converted networks really are spiking networks
+  (IF / TTFS / IFB dynamics, thresholds, resets -- Eqs. 1-4 of the paper),
+* it provides ground truth against which the fast activation-transport
+  evaluator (:mod:`repro.core.transport`) is validated in integration tests.
+
+Large figure sweeps use the transport evaluator instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.snn.neurons import NeuronState, SpikingNeuron
+from repro.snn.spikes import SpikeTrainArray
+from repro.utils.validation import check_positive
+
+#: A synaptic transform maps an instantaneous post-synaptic-current vector of
+#: the previous layer to the input current of this layer (i.e. applies
+#: ``W x + b_step`` for dense layers, the convolution for conv layers, ...).
+SynapticTransform = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class SimulatorLayer:
+    """One spiking layer of the time-stepped simulator.
+
+    Attributes
+    ----------
+    transform:
+        Callable applying the (already converted and scaled) synaptic weights
+        to a batch of instantaneous PSC values.
+    neuron:
+        The spiking neuron model of this layer, or ``None`` for the readout
+        layer (which only accumulates membrane potential).
+    name:
+        Layer name used in simulation records.
+    step_bias:
+        Optional constant current injected every step (per-neuron bias spread
+        over the time window).
+    """
+
+    transform: SynapticTransform
+    neuron: Optional[SpikingNeuron]
+    name: str = "layer"
+    step_bias: Optional[np.ndarray] = None
+
+
+@dataclass
+class SimulationRecord:
+    """Outcome of a time-stepped simulation.
+
+    Attributes
+    ----------
+    output_potential:
+        Accumulated membrane potential of the readout layer, shape
+        ``(batch, classes)``; argmax gives the prediction.
+    spike_counts:
+        Total number of spikes emitted per layer (keyed by layer name).
+    spike_trains:
+        Optional per-layer spike trains (only kept when ``record_spikes``).
+    num_steps:
+        Length of the simulated window.
+    """
+
+    output_potential: np.ndarray
+    spike_counts: Dict[str, int] = field(default_factory=dict)
+    spike_trains: Dict[str, SpikeTrainArray] = field(default_factory=dict)
+    num_steps: int = 0
+
+    @property
+    def predictions(self) -> np.ndarray:
+        """Predicted class indices."""
+        return self.output_potential.argmax(axis=1)
+
+    def total_spikes(self) -> int:
+        """Total spikes across all recorded layers."""
+        return int(sum(self.spike_counts.values()))
+
+
+class TimeSteppedSimulator:
+    """Run a stack of spiking layers over a discrete time window.
+
+    Parameters
+    ----------
+    layers:
+        Hidden spiking layers followed by exactly one readout layer (a layer
+        whose ``neuron`` is None).
+    num_steps:
+        Length of the simulation window ``T``.
+    input_kernel / hidden_kernel:
+        Per-step PSC weights (length ``num_steps``) applied to input spikes
+        and to hidden-layer spikes respectively.  They come from the coder's
+        :class:`repro.snn.kernels.PSCKernel`.
+    """
+
+    def __init__(
+        self,
+        layers: Sequence[SimulatorLayer],
+        num_steps: int,
+        input_kernel: np.ndarray,
+        hidden_kernel: Optional[np.ndarray] = None,
+    ):
+        check_positive("num_steps", num_steps)
+        if not layers:
+            raise ValueError("the simulator needs at least one layer")
+        if layers[-1].neuron is not None:
+            raise ValueError("the last layer must be a readout layer (neuron=None)")
+        self.layers = list(layers)
+        self.num_steps = int(num_steps)
+        self.input_kernel = self._check_kernel(input_kernel)
+        self.hidden_kernel = (
+            self._check_kernel(hidden_kernel)
+            if hidden_kernel is not None
+            else self.input_kernel
+        )
+
+    def _check_kernel(self, kernel: np.ndarray) -> np.ndarray:
+        kernel = np.asarray(kernel, dtype=np.float64)
+        if kernel.shape != (self.num_steps,):
+            raise ValueError(
+                f"kernel must have shape ({self.num_steps},), got {kernel.shape}"
+            )
+        return kernel
+
+    def run(
+        self,
+        input_spikes: SpikeTrainArray,
+        record_spikes: bool = False,
+    ) -> SimulationRecord:
+        """Simulate the network on a batch of encoded inputs.
+
+        Parameters
+        ----------
+        input_spikes:
+            Spike trains of the input population with shape
+            ``(T, batch, features...)`` as produced by a coder's ``encode``.
+        record_spikes:
+            Keep the full spike trains of every hidden layer in the record
+            (memory heavy; meant for small validation runs and plots).
+        """
+        if input_spikes.num_steps != self.num_steps:
+            raise ValueError(
+                f"input spike train has {input_spikes.num_steps} steps, "
+                f"simulator expects {self.num_steps}"
+            )
+        batch_shape = input_spikes.population_shape
+        if not batch_shape:
+            raise ValueError("input spike train must include a batch dimension")
+
+        states: List[Optional[NeuronState]] = []
+        hidden_counts: List[Optional[np.ndarray]] = []
+        output_potential: Optional[np.ndarray] = None
+        spike_counts: Dict[str, int] = {layer.name: 0 for layer in self.layers}
+        recorded: Dict[str, List[np.ndarray]] = {}
+
+        for step in range(self.num_steps):
+            current_psc = (
+                input_spikes.counts[step].astype(np.float64)
+                * self.input_kernel[step]
+            )
+            for index, layer in enumerate(self.layers):
+                drive = layer.transform(current_psc)
+                if layer.step_bias is not None:
+                    drive = drive + layer.step_bias
+                if layer.neuron is None:
+                    if output_potential is None:
+                        output_potential = np.zeros_like(drive)
+                    output_potential += drive
+                    current_psc = None
+                    break
+                if index >= len(states):
+                    states.append(layer.neuron.init_state(drive.shape))
+                    hidden_counts.append(np.zeros(drive.shape, dtype=np.int64))
+                spikes = layer.neuron.step(states[index], drive)
+                spike_counts[layer.name] += int(spikes.sum())
+                hidden_counts[index] += spikes
+                if record_spikes:
+                    recorded.setdefault(layer.name, []).append(spikes.copy())
+                current_psc = spikes.astype(np.float64) * self.hidden_kernel[step]
+
+        if output_potential is None:
+            raise RuntimeError("simulation finished without reaching the readout layer")
+
+        record = SimulationRecord(
+            output_potential=output_potential,
+            spike_counts=spike_counts,
+            num_steps=self.num_steps,
+        )
+        if record_spikes:
+            record.spike_trains = {
+                name: SpikeTrainArray(np.stack(steps, axis=0), copy=False)
+                for name, steps in recorded.items()
+            }
+        return record

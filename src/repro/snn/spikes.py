@@ -1,0 +1,229 @@
+"""Spike-train container.
+
+A :class:`SpikeTrainArray` stores the spike trains of a whole population of
+neurons over a finite time window as a dense integer array of shape
+``(T, *population_shape)``.  Entry ``[t, ...]`` holds the number of spikes the
+neuron emits at time step ``t`` (0 or 1 for most codes; burst-style codes may
+momentarily produce counts > 1 after jitter folds two spikes onto the same
+step).
+
+The dense layout keeps every operation the library needs -- counting,
+deletion, jitter, kernel-weighted decoding -- a vectorised numpy expression,
+which is what makes the figure sweeps tractable without compiled extensions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, default_rng
+from repro.utils.validation import check_positive
+
+
+class SpikeTrainArray:
+    """Dense spike-count representation of a population over a time window.
+
+    Parameters
+    ----------
+    counts:
+        Integer array of shape ``(T, *population_shape)`` with per-step spike
+        counts.  Copied defensively unless ``copy=False``.
+    copy:
+        Skip the defensive copy (used internally by transforms that already
+        own the buffer).
+    """
+
+    __slots__ = ("counts",)
+
+    def __init__(self, counts: np.ndarray, copy: bool = True):
+        counts = np.asarray(counts)
+        if counts.ndim < 2:
+            raise ValueError(
+                f"spike counts need shape (T, *population), got {counts.shape}"
+            )
+        if counts.dtype.kind not in "iu":
+            if not np.all(counts == np.round(counts)):
+                raise ValueError("spike counts must be integers")
+            counts = counts.astype(np.int16)
+        elif copy:
+            counts = counts.copy()
+        if np.any(counts < 0):
+            raise ValueError("spike counts cannot be negative")
+        self.counts = counts.astype(np.int16, copy=False)
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def zeros(cls, num_steps: int, population_shape: Tuple[int, ...]) -> "SpikeTrainArray":
+        """An empty spike train of ``num_steps`` steps for the given population."""
+        check_positive("num_steps", num_steps)
+        shape = (int(num_steps),) + tuple(int(s) for s in population_shape)
+        return cls(np.zeros(shape, dtype=np.int16), copy=False)
+
+    @classmethod
+    def from_spike_times(
+        cls,
+        times: Iterable[int],
+        neuron_indices: Iterable[int],
+        num_steps: int,
+        num_neurons: int,
+    ) -> "SpikeTrainArray":
+        """Build a single-population (1-D) train from parallel time/index lists."""
+        train = cls.zeros(num_steps, (num_neurons,))
+        times = np.asarray(list(times), dtype=np.int64)
+        neuron_indices = np.asarray(list(neuron_indices), dtype=np.int64)
+        if times.shape != neuron_indices.shape:
+            raise ValueError("times and neuron_indices must have the same length")
+        if times.size:
+            if times.min() < 0 or times.max() >= num_steps:
+                raise ValueError(f"spike times must lie in [0, {num_steps})")
+            if neuron_indices.min() < 0 or neuron_indices.max() >= num_neurons:
+                raise ValueError(f"neuron indices must lie in [0, {num_neurons})")
+            np.add.at(train.counts, (times, neuron_indices), 1)
+        return train
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        """Length of the time window ``T``."""
+        return int(self.counts.shape[0])
+
+    @property
+    def population_shape(self) -> Tuple[int, ...]:
+        """Shape of the neuron population (everything but the time axis)."""
+        return tuple(self.counts.shape[1:])
+
+    @property
+    def num_neurons(self) -> int:
+        """Total number of neurons in the population."""
+        return int(np.prod(self.population_shape)) if self.population_shape else 0
+
+    def total_spikes(self) -> int:
+        """Total number of spikes in the window."""
+        return int(self.counts.sum())
+
+    def spikes_per_neuron(self) -> np.ndarray:
+        """Per-neuron spike counts (shape ``population_shape``)."""
+        return self.counts.sum(axis=0)
+
+    def firing_rates(self) -> np.ndarray:
+        """Per-neuron firing rate (spikes per time step)."""
+        return self.counts.sum(axis=0) / float(self.num_steps)
+
+    def first_spike_times(self, no_spike_value: Optional[int] = None) -> np.ndarray:
+        """Per-neuron time of the first spike.
+
+        Neurons that never fire get ``no_spike_value`` (default: ``num_steps``,
+        i.e. one step past the window).
+        """
+        fired = self.counts > 0
+        has_spike = fired.any(axis=0)
+        first = np.argmax(fired, axis=0)
+        fill = self.num_steps if no_spike_value is None else int(no_spike_value)
+        return np.where(has_spike, first, fill)
+
+    def copy(self) -> "SpikeTrainArray":
+        """Deep copy."""
+        return SpikeTrainArray(self.counts.copy(), copy=False)
+
+    # -- transformations -----------------------------------------------------
+    def weighted_sum(self, weights_per_step: np.ndarray) -> np.ndarray:
+        """Sum of per-spike weights for every neuron.
+
+        ``weights_per_step`` has shape ``(T,)`` and gives the post-synaptic
+        contribution of a spike arriving at each step; the result has the
+        population shape.  This is the decoding primitive every kernel-based
+        coder uses.
+        """
+        weights_per_step = np.asarray(weights_per_step, dtype=np.float64)
+        if weights_per_step.shape != (self.num_steps,):
+            raise ValueError(
+                f"weights_per_step must have shape ({self.num_steps},), "
+                f"got {weights_per_step.shape}"
+            )
+        # einsum avoids materialising the full weighted (T, *population) array.
+        flat = self.counts.reshape(self.num_steps, -1)
+        result = np.einsum(
+            "t,tn->n", weights_per_step.astype(np.float32), flat.astype(np.float32)
+        )
+        return result.reshape(self.population_shape).astype(np.float64)
+
+    def delete_spikes(self, probability: float, rng: RngLike = None) -> "SpikeTrainArray":
+        """Return a copy with every spike independently deleted with ``probability``.
+
+        Implemented as binomial thinning of the count array, which is exact
+        for counts > 1 as well.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {probability}")
+        if probability == 0.0:
+            return self.copy()
+        generator = default_rng(rng)
+        if self.counts.max(initial=0) <= 1:
+            # Fast path for binary trains: one uniform draw per slot.
+            keep = generator.random(self.counts.shape, dtype=np.float32) >= probability
+            survivors = self.counts * keep
+        else:
+            survivors = generator.binomial(self.counts, 1.0 - probability)
+        return SpikeTrainArray(survivors.astype(np.int16), copy=False)
+
+    def jitter_spikes(
+        self,
+        sigma: float,
+        rng: RngLike = None,
+        mode: str = "clip",
+    ) -> "SpikeTrainArray":
+        """Return a copy with every spike time shifted by quantised Gaussian noise.
+
+        Each individual spike is moved by ``round(N(0, sigma))`` steps.  Spikes
+        pushed outside the window are clamped to the window edge when
+        ``mode="clip"`` (default) or removed when ``mode="drop"``.
+        """
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if mode not in ("clip", "drop"):
+            raise ValueError(f"mode must be 'clip' or 'drop', got {mode!r}")
+        if sigma == 0.0:
+            return self.copy()
+        generator = default_rng(rng)
+        flat = self.counts.reshape(self.num_steps, -1)
+        times, neurons = np.nonzero(flat)
+        if times.size == 0:
+            return self.copy()
+        multiplicity = flat[times, neurons].astype(np.int64)
+        times = np.repeat(times, multiplicity)
+        neurons = np.repeat(neurons, multiplicity)
+        shifts = np.rint(generator.normal(0.0, sigma, size=times.shape)).astype(np.int64)
+        shifted = times + shifts
+        if mode == "clip":
+            shifted = np.clip(shifted, 0, self.num_steps - 1)
+            keep = slice(None)
+        else:
+            keep = (shifted >= 0) & (shifted < self.num_steps)
+        num_neurons = flat.shape[1]
+        linear = shifted[keep] * num_neurons + neurons[keep]
+        new_flat = np.bincount(linear, minlength=self.num_steps * num_neurons)
+        new_flat = new_flat.reshape(self.num_steps, num_neurons).astype(np.int16)
+        return SpikeTrainArray(new_flat.reshape(self.counts.shape), copy=False)
+
+    def merge(self, other: "SpikeTrainArray") -> "SpikeTrainArray":
+        """Superpose two spike trains of identical shape."""
+        if self.counts.shape != other.counts.shape:
+            raise ValueError(
+                f"cannot merge spike trains of shapes {self.counts.shape} "
+                f"and {other.counts.shape}"
+            )
+        return SpikeTrainArray(self.counts + other.counts, copy=False)
+
+    # -- dunder helpers --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpikeTrainArray):
+            return NotImplemented
+        return bool(np.array_equal(self.counts, other.counts))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpikeTrainArray(T={self.num_steps}, population={self.population_shape}, "
+            f"spikes={self.total_spikes()})"
+        )

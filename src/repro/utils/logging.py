@@ -1,0 +1,65 @@
+"""Lightweight logging helpers.
+
+A thin wrapper around :mod:`logging` that gives every subsystem a namespaced
+logger (``repro.nn``, ``repro.snn``, ...) with a single shared console
+handler.  Benchmarks and examples use :func:`set_verbosity` to switch between
+quiet test runs and chatty interactive runs.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_ROOT_NAME = "repro"
+_CONFIGURED = False
+
+
+def _configure_root() -> None:
+    global _CONFIGURED
+    if _CONFIGURED:
+        return
+    root = logging.getLogger(_ROOT_NAME)
+    if not root.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(levelname)s] %(name)s: %(message)s")
+        )
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    root.propagate = False
+    _CONFIGURED = True
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Parameters
+    ----------
+    name:
+        Optional sub-name; ``get_logger("nn")`` returns ``repro.nn``.
+    """
+    _configure_root()
+    if not name:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def set_verbosity(level: str = "info") -> None:
+    """Set console verbosity for all ``repro`` loggers.
+
+    Accepted levels: ``"debug"``, ``"info"``, ``"warning"``, ``"error"``.
+    """
+    _configure_root()
+    levels = {
+        "debug": logging.DEBUG,
+        "info": logging.INFO,
+        "warning": logging.WARNING,
+        "error": logging.ERROR,
+    }
+    if level not in levels:
+        raise ValueError(f"unknown verbosity {level!r}; choose from {sorted(levels)}")
+    logging.getLogger(_ROOT_NAME).setLevel(levels[level])

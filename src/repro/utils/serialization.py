@@ -1,0 +1,69 @@
+"""Saving and loading of model parameters and experiment results.
+
+Two formats are used:
+
+* ``.npz`` archives for numeric arrays (network weights, activation caches),
+* ``.json`` files for metadata (configs, table rows, measured accuracies).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping
+
+import numpy as np
+
+
+def save_arrays(path: str, arrays: Mapping[str, np.ndarray]) -> str:
+    """Save a mapping of named arrays to a compressed ``.npz`` archive.
+
+    Returns the path written (with ``.npz`` appended if missing).
+    """
+    if not arrays:
+        raise ValueError("refusing to save an empty array mapping")
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    np.savez_compressed(path, **{str(k): np.asarray(v) for k, v in arrays.items()})
+    return path
+
+
+def load_arrays(path: str) -> Dict[str, np.ndarray]:
+    """Load a ``.npz`` archive previously written by :func:`save_arrays`."""
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    with np.load(path, allow_pickle=False) as data:
+        return {key: np.array(data[key]) for key in data.files}
+
+
+class _NumpyJSONEncoder(json.JSONEncoder):
+    """JSON encoder that understands numpy scalars and arrays."""
+
+    def default(self, obj: Any) -> Any:  # noqa: D102 - inherited
+        if isinstance(obj, (np.integer,)):
+            return int(obj)
+        if isinstance(obj, (np.floating,)):
+            return float(obj)
+        if isinstance(obj, (np.bool_,)):
+            return bool(obj)
+        if isinstance(obj, np.ndarray):
+            return obj.tolist()
+        return super().default(obj)
+
+
+def save_json(path: str, payload: Any, indent: int = 2) -> str:
+    """Write ``payload`` as JSON, creating parent directories as needed."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=indent, cls=_NumpyJSONEncoder)
+        handle.write("\n")
+    return path
+
+
+def load_json(path: str) -> Any:
+    """Load a JSON document written by :func:`save_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,68 @@
+"""Argument validation helpers used across the library.
+
+These helpers centralise the error messages for the most common kinds of
+invalid input (negative sizes, out-of-range probabilities, mismatched
+shapes) so that user-facing errors stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number) -> Number:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if not np.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: Number) -> Number:
+    """Raise ``ValueError`` unless ``value`` is >= 0 and finite."""
+    if not np.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a non-negative finite number, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: Number) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in the closed interval [0, 1]."""
+    value = float(value)
+    if not np.isfinite(value) or value < 0.0 or value > 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_shape(
+    name: str, array: np.ndarray, expected: Sequence[Union[int, None]]
+) -> np.ndarray:
+    """Validate the shape of ``array``.
+
+    ``expected`` may contain ``None`` entries as wildcards, e.g.
+    ``check_shape("x", x, (None, 3, 32, 32))`` accepts any batch size.
+    """
+    array = np.asarray(array)
+    expected_tuple: Tuple[Union[int, None], ...] = tuple(expected)
+    if array.ndim != len(expected_tuple):
+        raise ValueError(
+            f"{name} must have {len(expected_tuple)} dimensions "
+            f"(expected shape {expected_tuple}), got shape {array.shape}"
+        )
+    for axis, (actual, wanted) in enumerate(zip(array.shape, expected_tuple)):
+        if wanted is not None and actual != wanted:
+            raise ValueError(
+                f"{name} has size {actual} on axis {axis}, expected {wanted} "
+                f"(full expected shape {expected_tuple}, got {array.shape})"
+            )
+    return array
+
+
+def check_index(name: str, value: int, size: int) -> int:
+    """Validate that ``value`` is a valid index into a container of ``size``."""
+    value = int(value)
+    if value < 0 or value >= size:
+        raise ValueError(f"{name} must lie in [0, {size}), got {value}")
+    return value

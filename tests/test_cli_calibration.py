@@ -1,0 +1,101 @@
+"""Tests for the command-line interface and the TTAS burst-duration calibration."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import BurstDurationChoice, select_burst_duration
+
+
+class TestCliParser:
+    def test_figure_arguments(self):
+        args = build_parser().parse_args(
+            ["figure", "--name", "fig2", "--dataset", "cifar10", "--scale", "test"]
+        )
+        assert args.command == "figure"
+        assert args.name == "fig2"
+        assert args.scale == "test"
+
+    def test_table_arguments(self):
+        args = build_parser().parse_args(
+            ["table", "--name", "table2", "--datasets", "mnist", "cifar10"]
+        )
+        assert args.datasets == ["mnist", "cifar10"]
+
+    def test_evaluate_arguments(self):
+        args = build_parser().parse_args(
+            ["evaluate", "--coding", "ttas", "--duration", "7",
+             "--deletion", "0.5", "--weight-scaling"]
+        )
+        assert args.coding == "ttas"
+        assert args.duration == 7
+        assert args.deletion == 0.5
+        assert args.weight_scaling is True
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "--name", "fig99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evaluate_end_to_end(self, capsys):
+        exit_code = main([
+            "evaluate", "--dataset", "mnist", "--coding", "ttfs",
+            "--scale", "test", "--eval-size", "8", "--deletion", "0.2",
+        ])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "SNN accuracy" in captured.out
+        assert "spikes per sample" in captured.out
+
+
+class TestBurstDurationCalibration:
+    def test_returns_choice_with_all_candidates(self, converted_mlp, mnist_split):
+        choice = select_burst_duration(
+            converted_mlp,
+            mnist_split.test.x[:24],
+            mnist_split.test.y[:24],
+            candidate_durations=(1, 3, 5),
+            num_steps=16,
+            deletion=0.5,
+            rng=0,
+        )
+        assert isinstance(choice, BurstDurationChoice)
+        assert set(choice.accuracies) == {1, 3, 5}
+        assert set(choice.spikes_per_sample) == {1, 3, 5}
+        assert choice.target_duration in (1, 3, 5)
+        assert choice.best_duration in (1, 3, 5)
+
+    def test_selected_duration_is_within_tolerance_of_best(self, converted_mlp, mnist_split):
+        choice = select_burst_duration(
+            converted_mlp,
+            mnist_split.test.x[:24],
+            mnist_split.test.y[:24],
+            candidate_durations=(1, 5),
+            num_steps=16,
+            deletion=0.6,
+            tolerance=0.05,
+            rng=0,
+        )
+        best = choice.accuracies[choice.best_duration]
+        assert choice.accuracies[choice.target_duration] >= best - 0.05
+
+    def test_spike_cost_grows_with_duration(self, converted_mlp, mnist_split):
+        choice = select_burst_duration(
+            converted_mlp,
+            mnist_split.test.x[:16],
+            mnist_split.test.y[:16],
+            candidate_durations=(1, 5),
+            num_steps=16,
+            rng=0,
+        )
+        assert choice.spikes_per_sample[5] > choice.spikes_per_sample[1]
+
+    def test_invalid_candidates_rejected(self, converted_mlp, mnist_split):
+        with pytest.raises(ValueError):
+            select_burst_duration(
+                converted_mlp, mnist_split.test.x[:8], mnist_split.test.y[:8],
+                candidate_durations=(0,),
+            )

@@ -1,0 +1,158 @@
+"""Tests for the noise analysis helpers (Fig. 5B) and the metrics package."""
+
+import numpy as np
+import pytest
+
+from repro.coding import RateCoder, TTASCoder, TTFSCoder
+from repro.core.analysis import (
+    activation_distribution,
+    all_or_none_fraction,
+    decoded_samples,
+    expected_activation_ratio,
+)
+from repro.metrics import (
+    RobustnessSummary,
+    accuracy_score,
+    area_under_accuracy_curve,
+    confusion_matrix,
+    energy_proxy,
+    relative_degradation,
+    spike_statistics,
+    summarize_noise_sweep,
+    top_k_accuracy,
+)
+from repro.metrics.spikes import spike_train_sparsity
+from repro.noise import DeletionNoise
+
+
+class TestAnalysis:
+    def test_expected_activation_ratio_is_one_minus_p(self):
+        # Section III: E[A'] = (1 - p) A, for every coding scheme.
+        values = np.random.default_rng(0).random(300)
+        for coder in (RateCoder(32), TTFSCoder(32), TTASCoder(32, target_duration=3)):
+            ratio = expected_activation_ratio(coder, values, 0.4, trials=30, rng=0)
+            assert abs(ratio - 0.6) < 0.08
+
+    def test_expected_ratio_zero_probability(self):
+        coder = RateCoder(16)
+        ratio = expected_activation_ratio(coder, np.full(10, 0.5), 0.0, trials=3, rng=0)
+        assert abs(ratio - 1.0) < 1e-9
+
+    def test_all_or_none_for_ttfs(self):
+        zero, full = all_or_none_fraction(TTFSCoder(32), 0.8, 0.5, trials=400, rng=0)
+        assert abs(zero - 0.5) < 0.1
+        assert abs(full - 0.5) < 0.1
+        assert abs(zero + full - 1.0) < 1e-9
+
+    def test_rate_coding_is_not_all_or_none(self):
+        zero, full = all_or_none_fraction(RateCoder(64), 0.8, 0.5, trials=300, rng=0)
+        assert zero + full < 0.5
+
+    def test_ttas_mass_spreads_between_extremes(self):
+        zero, full = all_or_none_fraction(
+            TTASCoder(32, target_duration=5), 0.8, 0.5, trials=300, rng=0
+        )
+        assert zero + full < 0.9
+
+    def test_activation_distribution_histogram(self):
+        dist = activation_distribution(
+            RateCoder(64), 0.8, DeletionNoise(0.4), trials=200, bins=10, rng=0
+        )
+        assert dist.counts.sum() == 200
+        assert abs(dist.probabilities.sum() - 1.0) < 1e-9
+        assert abs(dist.mean - 0.48) < 0.05  # (1 - 0.4) * 0.8
+        assert dist.clean_value == 0.8
+
+    def test_decoded_samples_shape(self):
+        samples = decoded_samples(TTFSCoder(16), 0.5, DeletionNoise(0.3), trials=50, rng=0)
+        assert samples.shape == (50,)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            all_or_none_fraction(RateCoder(16), 0.5, 0.5, tolerance=1.5)
+        with pytest.raises(ValueError):
+            activation_distribution(RateCoder(16), 0.5, DeletionNoise(0.2), bins=0)
+
+
+class TestAccuracyMetrics:
+    def test_accuracy_from_indices(self):
+        assert accuracy_score(np.array([0, 1, 2]), np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_from_logits(self):
+        logits = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert accuracy_score(logits, np.array([1, 0])) == 1.0
+
+    def test_accuracy_empty(self):
+        assert np.isnan(accuracy_score(np.array([]), np.array([])))
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score(np.array([0, 1]), np.array([0, 1, 2]))
+
+    def test_top_k(self):
+        logits = np.array([[0.5, 0.3, 0.2], [0.1, 0.2, 0.7]])
+        assert top_k_accuracy(logits, np.array([1, 0]), k=1) == 0.0
+        assert top_k_accuracy(logits, np.array([1, 0]), k=2) == 0.5
+        assert top_k_accuracy(logits, np.array([1, 0]), k=3) == 1.0
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 1, 1]), np.array([0, 1, 0]), num_classes=2)
+        assert matrix[0, 0] == 1
+        assert matrix[0, 1] == 1
+        assert matrix[1, 1] == 1
+        assert matrix.sum() == 3
+
+
+class TestSpikeMetrics:
+    def test_spike_statistics(self):
+        stats = spike_statistics({0: 100, 1: 50}, num_samples=10)
+        assert stats.total_spikes == 150
+        assert stats.spikes_per_sample == 15.0
+        assert stats.spikes_per_interface == {0: 100, 1: 50}
+
+    def test_sparsity(self):
+        from repro.snn.spikes import SpikeTrainArray
+
+        counts = np.zeros((4, 10), dtype=np.int16)
+        counts[0, :5] = 1
+        assert spike_train_sparsity(SpikeTrainArray(counts)) == pytest.approx(0.875)
+
+    def test_energy_proxy_monotone(self):
+        assert energy_proxy(1000) > energy_proxy(100)
+        assert energy_proxy(0) == 0.0
+
+    def test_energy_proxy_validation(self):
+        with pytest.raises(ValueError):
+            energy_proxy(-1)
+
+
+class TestRobustnessMetrics:
+    def test_summarize_noise_sweep_excludes_clean_from_average(self):
+        summary = summarize_noise_sweep({0.0: 0.9, 0.2: 0.8, 0.5: 0.6})
+        assert summary.clean_accuracy == 0.9
+        assert summary.average == pytest.approx(0.7)
+
+    def test_degradation_at(self):
+        summary = summarize_noise_sweep({0.0: 0.9, 0.5: 0.6})
+        assert summary.degradation_at(0.5) == pytest.approx(0.3)
+        with pytest.raises(KeyError):
+            summary.degradation_at(0.7)
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_noise_sweep({})
+
+    def test_relative_degradation(self):
+        assert relative_degradation(0.8, 0.4) == pytest.approx(0.5)
+        assert relative_degradation(0.8, 0.9) == 0.0
+        assert relative_degradation(0.0, 0.0) == 0.0
+
+    def test_area_under_curve(self):
+        area = area_under_accuracy_curve([0.0, 1.0], [1.0, 0.0])
+        assert area == pytest.approx(0.5)
+        flat = area_under_accuracy_curve([0.0, 0.5, 1.0], [0.8, 0.8, 0.8])
+        assert flat == pytest.approx(0.8)
+
+    def test_area_under_curve_validation(self):
+        with pytest.raises(ValueError):
+            area_under_accuracy_curve([0.0], [1.0])

@@ -1,0 +1,221 @@
+"""Tests for the dataset substrate (containers, synthetic generators, loaders)."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchLoader,
+    Compose,
+    Dataset,
+    Normalize,
+    OneHot,
+    RandomCrop,
+    RandomHorizontalFlip,
+    compute_channel_stats,
+    load_dataset,
+    synthetic_cifar10,
+    synthetic_cifar100,
+    synthetic_mnist,
+    train_test_split,
+)
+
+
+def make_dataset(n=20, num_classes=4):
+    rng = np.random.default_rng(0)
+    x = rng.random((n, 1, 8, 8)).astype(np.float32)
+    y = np.arange(n) % num_classes
+    return Dataset(x=x, y=y, num_classes=num_classes, name="toy")
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        ds = make_dataset()
+        assert len(ds) == 20
+        assert ds.image_shape == (1, 8, 8)
+
+    def test_label_range_validated(self):
+        with pytest.raises(ValueError):
+            Dataset(x=np.zeros((2, 1, 4, 4)), y=np.array([0, 5]), num_classes=3)
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            Dataset(x=np.zeros((2, 4, 4)), y=np.array([0, 1]), num_classes=2)
+
+    def test_sample_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(x=np.zeros((3, 1, 4, 4)), y=np.array([0, 1]), num_classes=2)
+
+    def test_subset_and_take(self):
+        ds = make_dataset()
+        sub = ds.subset(np.array([0, 2, 4]))
+        assert len(sub) == 3
+        assert np.array_equal(sub.y, ds.y[[0, 2, 4]])
+        assert len(ds.take(5)) == 5
+        assert len(ds.take(1000)) == len(ds)
+
+    def test_shuffled_preserves_pairs(self):
+        ds = make_dataset()
+        shuffled = ds.shuffled(rng=1)
+        # every (x, y) pair of the shuffle must exist in the original
+        for i in range(len(shuffled)):
+            matches = np.where(
+                np.all(np.isclose(ds.x, shuffled.x[i]), axis=(1, 2, 3))
+            )[0]
+            assert shuffled.y[i] in ds.y[matches]
+
+    def test_class_counts(self):
+        ds = make_dataset(n=20, num_classes=4)
+        assert ds.class_counts().sum() == 20
+        assert ds.class_counts().shape == (4,)
+
+    def test_iter_batches_covers_everything(self):
+        ds = make_dataset()
+        total = sum(x.shape[0] for x, _ in ds.iter_batches(6))
+        assert total == len(ds)
+
+    def test_iter_batches_shuffle_deterministic(self):
+        ds = make_dataset()
+        ys1 = np.concatenate([y for _, y in ds.iter_batches(8, shuffle=True, rng=3)])
+        ys2 = np.concatenate([y for _, y in ds.iter_batches(8, shuffle=True, rng=3)])
+        assert np.array_equal(ys1, ys2)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        ds = make_dataset(n=40)
+        split = train_test_split(ds, test_fraction=0.25, rng=0, stratified=False)
+        assert len(split.test) == 10
+        assert len(split.train) == 30
+
+    def test_stratified_sizes_close_to_fraction(self):
+        ds = make_dataset(n=40, num_classes=4)
+        split = train_test_split(ds, test_fraction=0.2, rng=0)
+        assert len(split.test) == 8
+        assert len(split.train) == 32
+
+    def test_stratified_keeps_class_balance(self):
+        ds = make_dataset(n=40, num_classes=4)
+        split = train_test_split(ds, test_fraction=0.25, rng=0, stratified=True)
+        counts = split.test.class_counts()
+        assert counts.min() >= 1
+        assert counts.max() - counts.min() <= 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split(make_dataset(), test_fraction=1.5)
+
+
+class TestSyntheticGenerators:
+    def test_mnist_shapes(self):
+        split = synthetic_mnist(train_size=50, test_size=20, rng=0)
+        assert split.train.x.shape == (50, 1, 28, 28)
+        assert split.test.x.shape == (20, 1, 28, 28)
+        assert split.num_classes == 10
+
+    def test_cifar10_shapes(self):
+        split = synthetic_cifar10(train_size=30, test_size=10, rng=0)
+        assert split.train.x.shape == (30, 3, 32, 32)
+        assert split.num_classes == 10
+
+    def test_cifar100_has_100_classes(self):
+        split = synthetic_cifar100(train_size=200, test_size=100, rng=0)
+        assert split.num_classes == 100
+        assert split.train.y.max() == 99
+
+    def test_custom_image_size(self):
+        split = synthetic_cifar10(train_size=10, test_size=5, rng=0, image_size=16)
+        assert split.train.image_shape == (3, 16, 16)
+
+    def test_values_in_unit_interval(self):
+        split = synthetic_cifar10(train_size=20, test_size=5, rng=0)
+        assert split.train.x.min() >= 0.0
+        assert split.train.x.max() <= 1.0
+
+    def test_determinism(self):
+        a = synthetic_mnist(train_size=20, test_size=5, rng=7)
+        b = synthetic_mnist(train_size=20, test_size=5, rng=7)
+        assert np.allclose(a.train.x, b.train.x)
+        assert np.array_equal(a.train.y, b.train.y)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_mnist(train_size=20, test_size=5, rng=1)
+        b = synthetic_mnist(train_size=20, test_size=5, rng=2)
+        assert not np.allclose(a.train.x, b.train.x)
+
+    def test_classes_are_distinguishable(self):
+        # nearest-prototype classification on clean prototypes should beat chance
+        split = synthetic_mnist(train_size=300, test_size=100, rng=0)
+        prototypes = np.stack([
+            split.train.x[split.train.y == c].mean(axis=0) for c in range(10)
+        ])
+        differences = split.test.x[:, None] - prototypes[None]
+        distances = np.sqrt((differences ** 2).sum(axis=(2, 3, 4)))
+        accuracy = float((distances.argmin(axis=1) == split.test.y).mean())
+        assert accuracy > 0.5
+
+    def test_load_dataset_by_name(self):
+        split = load_dataset("mnist", train_size=10, test_size=5, rng=0)
+        assert split.name == "synthetic-mnist"
+        with pytest.raises(ValueError):
+            load_dataset("imagenet")
+
+
+class TestTransformsAndLoader:
+    def test_normalize(self):
+        x = np.ones((2, 3, 4, 4), dtype=np.float32)
+        norm = Normalize(mean=[1, 1, 1], std=[2, 2, 2])
+        out, _ = norm(x, np.zeros(2))
+        assert np.allclose(out, 0.0)
+
+    def test_normalize_rejects_zero_std(self):
+        with pytest.raises(ValueError):
+            Normalize(mean=[0], std=[0])
+
+    def test_one_hot(self):
+        onehot = OneHot(num_classes=4)
+        _, y = onehot(np.zeros((3, 1, 2, 2)), np.array([0, 3, 1]))
+        assert y.shape == (3, 4)
+        assert np.array_equal(y.argmax(axis=1), [0, 3, 1])
+
+    def test_random_flip_probability_one(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        flip = RandomHorizontalFlip(p=1.0, rng=0)
+        out, _ = flip(x, np.zeros(1))
+        assert np.allclose(out, x[:, :, :, ::-1])
+
+    def test_random_crop_preserves_shape(self):
+        x = np.random.default_rng(0).random((4, 3, 8, 8)).astype(np.float32)
+        crop = RandomCrop(padding=2, rng=0)
+        out, _ = crop(x, np.zeros(4))
+        assert out.shape == x.shape
+
+    def test_compose_order(self):
+        x = np.ones((1, 1, 2, 2), dtype=np.float32)
+        pipeline = Compose([Normalize([0.5], [0.5]), OneHot(3)])
+        out_x, out_y = pipeline(x, np.array([2]))
+        assert np.allclose(out_x, 1.0)
+        assert out_y.shape == (1, 3)
+
+    def test_channel_stats(self):
+        x = np.random.default_rng(0).random((10, 3, 5, 5)).astype(np.float32)
+        mean, std = compute_channel_stats(x)
+        assert mean.shape == (3,)
+        assert np.all(std > 0)
+
+    def test_batch_loader_length_and_drop_last(self):
+        ds = make_dataset(n=23)
+        assert len(BatchLoader(ds, batch_size=5)) == 5
+        assert len(BatchLoader(ds, batch_size=5, drop_last=True)) == 4
+
+    def test_batch_loader_transform_applied(self):
+        ds = make_dataset(n=8, num_classes=4)
+        loader = BatchLoader(ds, batch_size=4, transform=OneHot(4))
+        _, y = next(iter(loader))
+        assert y.shape == (4, 4)
+
+    def test_batch_loader_epoch_counter(self):
+        ds = make_dataset(n=6)
+        loader = BatchLoader(ds, batch_size=3)
+        list(loader)
+        list(loader)
+        assert loader.epoch == 2

@@ -1,0 +1,133 @@
+"""Tests for repro.utils validation, config, serialization and logging."""
+
+import logging
+import os
+
+import numpy as np
+import pytest
+
+from repro.utils.config import ConfigError, as_dict, freeze_dict, validate_choice
+from repro.utils.logging import get_logger, set_verbosity
+from repro.utils.serialization import load_arrays, load_json, save_arrays, save_json
+from repro.utils.validation import (
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 3) == 3
+
+    @pytest.mark.parametrize("value", [0, -1, float("nan"), float("inf")])
+    def test_check_positive_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_positive("x", value)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0) == 0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.5)
+
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_check_probability_accepts(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.1, 1.1, float("nan")])
+    def test_check_probability_rejects(self, value):
+        with pytest.raises(ValueError):
+            check_probability("p", value)
+
+    def test_check_shape_wildcards(self):
+        x = np.zeros((4, 3, 8, 8))
+        assert check_shape("x", x, (None, 3, 8, 8)) is not None
+
+    def test_check_shape_wrong_rank(self):
+        with pytest.raises(ValueError):
+            check_shape("x", np.zeros((2, 2)), (None, 2, 2))
+
+    def test_check_shape_wrong_size(self):
+        with pytest.raises(ValueError):
+            check_shape("x", np.zeros((2, 5)), (None, 4))
+
+    def test_check_index(self):
+        assert check_index("i", 2, 5) == 2
+        with pytest.raises(ValueError):
+            check_index("i", 5, 5)
+        with pytest.raises(ValueError):
+            check_index("i", -1, 5)
+
+
+class TestConfigHelpers:
+    def test_validate_choice_accepts(self):
+        assert validate_choice("mode", "a", ["a", "b"]) == "a"
+
+    def test_validate_choice_rejects(self):
+        with pytest.raises(ConfigError):
+            validate_choice("mode", "c", ["a", "b"])
+
+    def test_freeze_dict_read_only(self):
+        frozen = freeze_dict({"a": 1})
+        assert frozen["a"] == 1
+        with pytest.raises(TypeError):
+            frozen["a"] = 2  # type: ignore[index]
+
+    def test_as_dict_on_dataclass(self):
+        from repro.experiments.config import MethodSpec
+
+        d = as_dict(MethodSpec(coding="rate"))
+        assert d["coding"] == "rate"
+
+    def test_as_dict_on_mapping(self):
+        assert as_dict({"k": 1}) == {"k": 1}
+
+
+class TestSerialization:
+    def test_array_roundtrip(self, tmp_path):
+        path = os.path.join(tmp_path, "arrays")
+        arrays = {"w": np.arange(6).reshape(2, 3), "b": np.ones(3)}
+        written = save_arrays(path, arrays)
+        assert written.endswith(".npz")
+        loaded = load_arrays(written)
+        assert set(loaded) == {"w", "b"}
+        assert np.array_equal(loaded["w"], arrays["w"])
+
+    def test_empty_arrays_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_arrays(os.path.join(tmp_path, "x"), {})
+
+    def test_json_roundtrip_with_numpy_types(self, tmp_path):
+        path = os.path.join(tmp_path, "result.json")
+        payload = {"acc": np.float64(0.5), "n": np.int64(3), "arr": np.arange(3)}
+        save_json(path, payload)
+        loaded = load_json(path)
+        assert loaded["acc"] == 0.5
+        assert loaded["n"] == 3
+        assert loaded["arr"] == [0, 1, 2]
+
+    def test_json_creates_directories(self, tmp_path):
+        path = os.path.join(tmp_path, "nested", "dir", "x.json")
+        save_json(path, {"ok": True})
+        assert load_json(path) == {"ok": True}
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger("nn").name == "repro.nn"
+        assert get_logger().name == "repro"
+        assert get_logger("repro.snn").name == "repro.snn"
+
+    def test_set_verbosity(self):
+        set_verbosity("debug")
+        assert logging.getLogger("repro").level == logging.DEBUG
+        set_verbosity("warning")
+        assert logging.getLogger("repro").level == logging.WARNING
+
+    def test_unknown_verbosity(self):
+        with pytest.raises(ValueError):
+            set_verbosity("loud")
