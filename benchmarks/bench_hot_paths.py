@@ -1,0 +1,163 @@
+"""Micro-benchmark of the spike-train hot paths: dense vs event backend.
+
+Times encode / delete / jitter / decode (and the full delete -> jitter ->
+decode corruption chain every sweep cell runs) at the sparsity levels the
+temporal codes actually produce -- TTFS (<= 1 spike per neuron) and TTAS
+(<= t_a spikes per neuron) at T=64 -- on both spike-train backends, and
+writes the results to ``BENCH_hot_paths.json`` at the repository root so the
+performance trajectory is tracked across PRs.
+
+Run it as a plain script (pytest naming conventions skip ``bench_*`` files)::
+
+    PYTHONPATH=src python benchmarks/bench_hot_paths.py
+
+Knobs: ``--population`` (default 4096), ``--batch`` (default 16),
+``--repeats`` (default 15).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Callable, Dict
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+if not os.environ.get("PYTHONPATH") or "repro" not in sys.modules:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+import numpy as np
+
+from repro.coding.registry import create_coder
+from repro.metrics.spikes import spike_train_sparsity
+
+#: Output file, at the repository root so it is versioned with the code.
+OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_hot_paths.json")
+
+#: Noise levels of the timed corruption chain (paper's mid-range).
+DELETION_P = 0.2
+JITTER_SIGMA = 1.5
+
+
+def _time(fn: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock seconds of ``fn`` over ``repeats`` runs (1 warm-up)."""
+    fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def bench_coder(
+    name: str, coder, values: np.ndarray, repeats: int
+) -> Dict[str, Dict[str, float]]:
+    """Time every hot-path op on both backends for one coder."""
+    results: Dict[str, Dict[str, float]] = {}
+    trains = {
+        "dense": coder.encode(values, backend="dense"),
+        "events": coder.encode(values, backend="events"),
+    }
+    results["sparsity"] = {
+        backend: spike_train_sparsity(train) for backend, train in trains.items()
+    }
+    for backend, train in trains.items():
+        deleted = train.delete_spikes(DELETION_P, rng=0)
+        timings = {
+            "encode": _time(lambda: coder.encode(values, backend=backend), repeats),
+            "delete": _time(lambda: train.delete_spikes(DELETION_P, rng=1), repeats),
+            "jitter": _time(
+                lambda: deleted.jitter_spikes(JITTER_SIGMA, rng=2), repeats
+            ),
+            "decode": _time(lambda: coder.decode(train), repeats),
+            "delete_jitter_decode": _time(
+                lambda: coder.decode(
+                    train.delete_spikes(DELETION_P, rng=3)
+                    .jitter_spikes(JITTER_SIGMA, rng=4)
+                ),
+                repeats,
+            ),
+        }
+        results[backend] = timings
+    results["speedup_dense_over_events"] = {
+        op: results["dense"][op] / results["events"][op]
+        for op in results["dense"]
+    }
+    print(f"\n{name} (T={coder.num_steps}, "
+          f"sparsity={results['sparsity']['events']:.3f})")
+    header = f"  {'op':<22}{'dense':>12}{'events':>12}{'speedup':>10}"
+    print(header)
+    for op in results["dense"]:
+        dense_ms = results["dense"][op] * 1e3
+        events_ms = results["events"][op] * 1e3
+        ratio = results["speedup_dense_over_events"][op]
+        print(f"  {op:<22}{dense_ms:>10.2f}ms{events_ms:>10.2f}ms{ratio:>9.1f}x")
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--population", type=int, default=4096,
+                        help="neurons per sample (default 4096)")
+    parser.add_argument("--batch", type=int, default=16,
+                        help="samples per train (default 16)")
+    parser.add_argument("--num-steps", type=int, default=64,
+                        help="time window T (default 64)")
+    parser.add_argument("--repeats", type=int, default=15,
+                        help="timing repeats per op (default 15)")
+    parser.add_argument("--output", default=OUTPUT_PATH,
+                        help=f"JSON output path (default {OUTPUT_PATH})")
+    args = parser.parse_args(argv)
+
+    values = np.random.default_rng(0).random((args.batch, args.population))
+    coders = {
+        "ttfs": create_coder("ttfs", num_steps=args.num_steps),
+        "ttas(3)": create_coder("ttas", num_steps=args.num_steps,
+                                target_duration=3),
+        "ttas(5)": create_coder("ttas", num_steps=args.num_steps,
+                                target_duration=5),
+    }
+    report = {
+        "config": {
+            "population": args.population,
+            "batch": args.batch,
+            "num_steps": args.num_steps,
+            "repeats": args.repeats,
+            "deletion_p": DELETION_P,
+            "jitter_sigma": JITTER_SIGMA,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        },
+        "results": {},
+    }
+    for name, coder in coders.items():
+        report["results"][name] = bench_coder(name, coder, values, args.repeats)
+
+    chain_speedups = {
+        name: result["speedup_dense_over_events"]["delete_jitter_decode"]
+        for name, result in report["results"].items()
+    }
+    report["summary"] = {
+        "chain_speedup_min": min(chain_speedups.values()),
+        "chain_speedup_max": max(chain_speedups.values()),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"\nwrote {args.output}")
+    print("delete->jitter->decode speedups (dense/events): "
+          + ", ".join(f"{k}={v:.1f}x" for k, v in chain_speedups.items()))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

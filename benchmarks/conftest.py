@@ -8,8 +8,10 @@ once per dataset and shared across all benchmarks through the session-scoped
 
 Environment knobs:
 
-* ``REPRO_BENCH_EVAL``   -- evaluation images per noise level (default 32),
-* ``REPRO_BENCH_SEED``   -- seed for training/noise (default 0).
+* ``REPRO_BENCH_EVAL``    -- evaluation images per noise level (default 32),
+* ``REPRO_BENCH_SEED``    -- seed for training/noise (default 0),
+* ``REPRO_BENCH_WORKERS`` -- sweep worker threads per figure/table (default
+  serial; 0 = one per CPU).  Results are bit-identical at any worker count.
 """
 
 from __future__ import annotations
@@ -20,12 +22,18 @@ from typing import Dict
 import pytest
 
 from repro.experiments.config import BENCH_SCALE
+from repro.experiments.runner import SWEEP_WORKERS_ENV
 from repro.experiments.workloads import PreparedWorkload, prepare_workload
 
 #: Evaluation images per noise level used by every benchmark.
 EVAL_SIZE = int(os.environ.get("REPRO_BENCH_EVAL", "32"))
 #: Seed shared by every benchmark.
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+#: Sweep worker threads per benchmark (surfaced to the runner's env default,
+#: so every figure/table sweep in the harness picks it up automatically).
+MAX_WORKERS = os.environ.get("REPRO_BENCH_WORKERS", "").strip()
+if MAX_WORKERS:
+    os.environ.setdefault(SWEEP_WORKERS_ENV, MAX_WORKERS)
 
 
 class WorkloadPool:

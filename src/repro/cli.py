@@ -33,6 +33,7 @@ from repro.experiments import (
 from repro.experiments.config import BENCH_SCALE, TEST_SCALE, ExperimentScale
 from repro.experiments.workloads import prepare_workload
 from repro.core.pipeline import NoiseRobustSNN
+from repro.snn.spikes import SPIKE_BACKENDS
 
 _FIGURES = {
     "fig2": figure2_deletion,
@@ -67,6 +68,9 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", choices=("bench", "test"), default="bench")
     figure.add_argument("--eval-size", type=int, default=None)
     figure.add_argument("--seed", type=int, default=0)
+    figure.add_argument("--max-workers", type=int, default=None,
+                        help="parallel (method x level) sweep cells; "
+                             "0 = one worker per CPU (default: serial)")
 
     table = sub.add_parser("table", help="regenerate Table I or II")
     table.add_argument("--name", choices=sorted(_TABLES), required=True)
@@ -74,6 +78,9 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--scale", choices=("bench", "test"), default="bench")
     table.add_argument("--eval-size", type=int, default=None)
     table.add_argument("--seed", type=int, default=0)
+    table.add_argument("--max-workers", type=int, default=None,
+                       help="parallel (method x level) sweep cells; "
+                            "0 = one worker per CPU (default: serial)")
 
     evaluate = sub.add_parser("evaluate", help="evaluate one coding/noise condition")
     evaluate.add_argument("--dataset", default="cifar10")
@@ -87,13 +94,18 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--scale", choices=("bench", "test"), default="bench")
     evaluate.add_argument("--eval-size", type=int, default=None)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument("--spike-backend", choices=SPIKE_BACKENDS, default=None,
+                          help="force the spike-train representation "
+                               "(default: the coder's preference, overridable "
+                               "via REPRO_SPIKE_BACKEND)")
     return parser
 
 
 def _run_figure(args: argparse.Namespace) -> str:
     scale = _scale_from_name(args.scale)
     result = _FIGURES[args.name](
-        dataset=args.dataset, scale=scale, seed=args.seed, eval_size=args.eval_size
+        dataset=args.dataset, scale=scale, seed=args.seed, eval_size=args.eval_size,
+        max_workers=args.max_workers,
     )
     return format_figure_series(result, f"{args.name} ({args.dataset})")
 
@@ -102,7 +114,7 @@ def _run_table(args: argparse.Namespace) -> str:
     scale = _scale_from_name(args.scale)
     result = _TABLES[args.name](
         datasets=tuple(args.datasets), scale=scale, seed=args.seed,
-        eval_size=args.eval_size,
+        eval_size=args.eval_size, max_workers=args.max_workers,
     )
     return format_table_rows(result, args.name)
 
@@ -119,6 +131,7 @@ def _run_evaluate(args: argparse.Namespace) -> str:
         num_steps=scale.time_steps_for(args.coding),
         weight_scaling=args.weight_scaling,
         coder_kwargs=coder_kwargs,
+        spike_backend=args.spike_backend,
     )
     x, y = workload.evaluation_slice(args.eval_size)
     result = pipeline.evaluate(

@@ -18,7 +18,14 @@ import numpy as np
 
 from repro.snn.kernels import PSCKernel
 from repro.snn.neurons import SpikingNeuron
-from repro.snn.spikes import SpikeTrainArray
+from repro.snn.spikes import (
+    DENSE_BACKEND,
+    EVENTS_BACKEND,
+    SpikeEvents,
+    SpikeTrain,
+    SpikeTrainArray,
+    resolve_spike_backend,
+)
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive
 
@@ -49,17 +56,24 @@ class CoderConfig:
 class NeuralCoder:
     """Base class for neural coding schemes.
 
-    Subclasses implement :meth:`encode`, :meth:`decode` (usually via the PSC
-    kernel), :meth:`make_neuron` and report their kernel through
-    :attr:`kernel`.
+    Subclasses implement :meth:`encode_dense` (and, for sparse temporal
+    codes, natively :meth:`encode_events`), :meth:`make_neuron` and report
+    their kernel through :attr:`kernel`; kernel-based decoding comes for free
+    from the base :meth:`decode`.
     """
 
     #: Registry name of the coding scheme ("rate", "phase", ...).
     name: str = "abstract"
 
+    #: Spike-train backend this coder emits when the caller does not choose
+    #: one (sparse temporal codes prefer ``"events"``).
+    preferred_backend: str = DENSE_BACKEND
+
     def __init__(self, num_steps: int):
         check_positive("num_steps", num_steps)
         self._num_steps = int(num_steps)
+        self._cached_step_weights: Optional[np.ndarray] = None
+        self._cached_decode_weights: Optional[np.ndarray] = None
 
     # -- basic properties ------------------------------------------------------
     @property
@@ -73,21 +87,71 @@ class NeuralCoder:
         raise NotImplementedError
 
     def step_weights(self) -> np.ndarray:
-        """Kernel weights evaluated on this coder's time grid."""
-        return self.kernel.weights(self.num_steps)
+        """Kernel weights evaluated on this coder's time grid.
+
+        Cached per coder instance (read-only): the kernel is immutable, so
+        re-evaluating it on every decode call is pure waste.
+        """
+        if self._cached_step_weights is None:
+            weights = np.asarray(
+                self.kernel.weights(self.num_steps), dtype=np.float64
+            )
+            weights.setflags(write=False)
+            self._cached_step_weights = weights
+        return self._cached_step_weights
+
+    def decode_weights(self) -> np.ndarray:
+        """Cached float32 view of :meth:`step_weights` used by decoding.
+
+        ``weighted_sum`` computes in float32; handing it an already-converted
+        array avoids a per-call cast on both backends.
+        """
+        if self._cached_decode_weights is None:
+            weights = self.step_weights().astype(np.float32)
+            weights.setflags(write=False)
+            self._cached_decode_weights = weights
+        return self._cached_decode_weights
 
     # -- encoding / decoding ---------------------------------------------------
-    def encode(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+    def encode(
+        self,
+        values: np.ndarray,
+        rng: RngLike = None,
+        backend: Optional[str] = None,
+    ) -> SpikeTrain:
         """Encode normalised activations ``values`` into spike trains.
 
-        ``values`` may have any shape; the returned train has shape
-        ``(num_steps, *values.shape)``.
+        ``values`` may have any shape; the returned train covers
+        ``(num_steps, *values.shape)``.  The representation is chosen by
+        :func:`repro.snn.spikes.resolve_spike_backend`: an explicit
+        ``backend`` argument wins, then the process/env override
+        (``REPRO_SPIKE_BACKEND``), then this coder's
+        :attr:`preferred_backend`.
         """
+        resolved = resolve_spike_backend(backend, self.preferred_backend)
+        if resolved == EVENTS_BACKEND:
+            return self.encode_events(values, rng=rng)
+        return self.encode_dense(values, rng=rng)
+
+    def encode_dense(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+        """Encode into the dense backend (subclass primitive)."""
         raise NotImplementedError
 
-    def decode(self, train: SpikeTrainArray) -> np.ndarray:
-        """Decode a spike train back into activation values."""
-        raise NotImplementedError
+    def encode_events(self, values: np.ndarray, rng: RngLike = None) -> SpikeEvents:
+        """Encode into the event backend.
+
+        Sparse temporal coders override this with a native O(spikes)
+        implementation; the default converts the dense encoding.
+        """
+        return self.encode_dense(values, rng=rng).to_events()
+
+    def decode(self, train: SpikeTrain) -> np.ndarray:
+        """Decode a spike train back into activation values.
+
+        The default is the kernel-weighted sum shared by every coder; works
+        on both backends through the common spike-train protocol.
+        """
+        return train.weighted_sum(self.decode_weights())
 
     def roundtrip(self, values: np.ndarray, rng: RngLike = None) -> np.ndarray:
         """Encode then decode (no noise): exposes the pure quantisation error."""

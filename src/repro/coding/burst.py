@@ -84,7 +84,7 @@ class BurstCoder(NeuralCoder):
             residual = residual - emit * slot_weights[k]
         return pattern
 
-    def encode(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+    def encode_dense(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
         values = self._normalise(values)
         pattern = self._burst_pattern(values)
         train = SpikeTrainArray.zeros(self.num_steps, values.shape)
@@ -93,10 +93,10 @@ class BurstCoder(NeuralCoder):
             train.counts[start:start + self.burst_length] = pattern
         return train
 
-    def decode(self, train: SpikeTrainArray) -> np.ndarray:
+    def decode(self, train) -> np.ndarray:
         if self.num_periods == 0:
             return np.zeros(train.population_shape)
-        return train.weighted_sum(self.step_weights()) / self.num_periods
+        return train.weighted_sum(self.decode_weights()) / self.num_periods
 
     def expected_spike_count(self, values: np.ndarray) -> float:
         pattern = self._burst_pattern(values)

@@ -71,7 +71,7 @@ class PhaseCoder(NeuralCoder):
             bits[k] = bit
         return bits
 
-    def encode(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+    def encode_dense(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
         values = self._normalise(values)
         bits = self._bits(values)
         train = SpikeTrainArray.zeros(self.num_steps, values.shape)
@@ -80,10 +80,10 @@ class PhaseCoder(NeuralCoder):
             train.counts[start:start + self.period] = bits
         return train
 
-    def decode(self, train: SpikeTrainArray) -> np.ndarray:
+    def decode(self, train) -> np.ndarray:
         if self.num_periods == 0:
             return np.zeros(train.population_shape)
-        return train.weighted_sum(self.step_weights()) / self.num_periods
+        return train.weighted_sum(self.decode_weights()) / self.num_periods
 
     def expected_spike_count(self, values: np.ndarray) -> float:
         bits = self._bits(values)

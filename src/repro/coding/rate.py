@@ -45,7 +45,7 @@ class RateCoder(NeuralCoder):
     def kernel(self) -> PSCKernel:
         return self._kernel
 
-    def encode(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+    def encode_dense(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
         values = self._normalise(values)
         t = self.num_steps
         if self.stochastic:
@@ -63,9 +63,6 @@ class RateCoder(NeuralCoder):
         boundaries = (steps.reshape(shape) * target[None, ...]) // t
         spikes = np.diff(boundaries, axis=0).astype(np.int16)
         return SpikeTrainArray(spikes, copy=False)
-
-    def decode(self, train: SpikeTrainArray) -> np.ndarray:
-        return train.weighted_sum(self.step_weights())
 
     def expected_spike_count(self, values: np.ndarray) -> float:
         values = self._normalise(values)

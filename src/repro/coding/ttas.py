@@ -30,7 +30,7 @@ from repro.coding.base import NeuralCoder
 from repro.coding.ttfs import TTFSCoder
 from repro.snn.kernels import ExponentialKernel, PSCKernel
 from repro.snn.neurons import IntegrateFireOrBurstNeuron, SpikingNeuron
-from repro.snn.spikes import SpikeTrainArray
+from repro.snn.spikes import EVENTS_BACKEND, SpikeEvents, SpikeTrainArray
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_positive
 
@@ -50,6 +50,9 @@ class TTASCoder(NeuralCoder):
     """
 
     name = "ttas"
+
+    #: At most ``t_a`` spikes per neuron: the event backend is the natural fit.
+    preferred_backend = EVENTS_BACKEND
 
     def __init__(
         self,
@@ -90,27 +93,28 @@ class TTASCoder(NeuralCoder):
         """Time of the *first* spike of each burst (num_steps means "no spike")."""
         return self._ttfs.spike_times(values)
 
-    def encode(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+    def encode_events(self, values: np.ndarray, rng: RngLike = None) -> SpikeEvents:
+        # The burst is t_a consecutive spikes from the TTFS time; emit the
+        # (time, neuron) pairs directly instead of scattering into a dense
+        # grid that is >= 95 % zeros for realistic T.
         values = self._normalise(values)
-        first_times = self.spike_times(values)
-        train = SpikeTrainArray.zeros(self.num_steps, values.shape)
-        active = first_times < self.num_steps
-        if not np.any(active):
-            return train
-        flat_index = np.nonzero(active)
+        first_times = self.spike_times(values).reshape(-1)
+        active = np.flatnonzero(first_times < self.num_steps)
         base_times = first_times[active]
-        for offset in range(self.target_duration):
-            times = base_times + offset
-            inside = times < self.num_steps
-            if not np.any(inside):
-                break
-            idx = tuple(axis[inside] for axis in flat_index)
-            np.add.at(train.counts, (times[inside],) + idx, 1)
-        return train
+        offsets = np.arange(self.target_duration, dtype=np.int64)
+        times = (base_times[:, None] + offsets[None, :]).reshape(-1)
+        neurons = np.repeat(active, self.target_duration)
+        inside = times < self.num_steps
+        return SpikeEvents(
+            times[inside], neurons[inside], None, self.num_steps, values.shape
+        )
 
-    def decode(self, train: SpikeTrainArray) -> np.ndarray:
+    def encode_dense(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+        return self.encode_events(values, rng=rng).to_dense()
+
+    def decode(self, train) -> np.ndarray:
         # C_A * sum over burst spikes of the exponential kernel value.
-        return self.scale_factor * train.weighted_sum(self.step_weights())
+        return self.scale_factor * train.weighted_sum(self.decode_weights())
 
     def expected_spike_count(self, values: np.ndarray) -> float:
         values = self._normalise(values)

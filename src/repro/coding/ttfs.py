@@ -22,7 +22,7 @@ import numpy as np
 from repro.coding.base import NeuralCoder
 from repro.snn.kernels import ExponentialKernel, PSCKernel
 from repro.snn.neurons import SpikingNeuron, TTFSNeuron
-from repro.snn.spikes import SpikeTrainArray
+from repro.snn.spikes import EVENTS_BACKEND, SpikeEvents, SpikeTrainArray
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_probability
 
@@ -42,6 +42,9 @@ class TTFSCoder(NeuralCoder):
     """
 
     name = "ttfs"
+
+    #: At most one spike per neuron: the event backend is the natural fit.
+    preferred_backend = EVENTS_BACKEND
 
     def __init__(self, num_steps: int = 64, min_value: float = 0.02):
         super().__init__(num_steps)
@@ -70,19 +73,18 @@ class TTFSCoder(NeuralCoder):
             )
         return np.clip(times, 0, self.num_steps).astype(np.int64)
 
-    def encode(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+    def encode_events(self, values: np.ndarray, rng: RngLike = None) -> SpikeEvents:
+        # spike_times already gives one event per active neuron; emitting them
+        # directly avoids building (and re-scanning) the dense (T, N) grid.
         values = self._normalise(values)
-        times = self.spike_times(values)
-        train = SpikeTrainArray.zeros(self.num_steps, values.shape)
-        active = times < self.num_steps
-        if np.any(active):
-            flat_times = times[active]
-            flat_index = np.nonzero(active)
-            np.add.at(train.counts, (flat_times,) + flat_index, 1)
-        return train
+        times = self.spike_times(values).reshape(-1)
+        active = np.flatnonzero(times < self.num_steps)
+        return SpikeEvents(
+            times[active], active, None, self.num_steps, values.shape
+        )
 
-    def decode(self, train: SpikeTrainArray) -> np.ndarray:
-        return train.weighted_sum(self.step_weights())
+    def encode_dense(self, values: np.ndarray, rng: RngLike = None) -> SpikeTrainArray:
+        return self.encode_events(values, rng=rng).to_dense()
 
     def expected_spike_count(self, values: np.ndarray) -> float:
         values = self._normalise(values)

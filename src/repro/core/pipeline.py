@@ -91,6 +91,7 @@ class NoiseRobustSNN:
         weight_scaling: bool = True,
         scaling_mode: str = "inverse",
         coder_kwargs: Optional[Dict] = None,
+        spike_backend: Optional[str] = None,
     ):
         self.network = network
         self.coding = coding
@@ -98,6 +99,8 @@ class NoiseRobustSNN:
         self.coder_kwargs = dict(coder_kwargs or {})
         self.weight_scaling_enabled = bool(weight_scaling)
         self.scaling_mode = scaling_mode
+        #: Spike-train backend override ("dense"/"events"; None = coder/env).
+        self.spike_backend = spike_backend
 
     # -- construction -------------------------------------------------------------
     @classmethod
@@ -111,6 +114,7 @@ class NoiseRobustSNN:
         weight_scaling: bool = True,
         scaling_mode: str = "inverse",
         percentile: float = 99.9,
+        spike_backend: Optional[str] = None,
         **coder_kwargs,
     ) -> "NoiseRobustSNN":
         """Convert a trained DNN and wrap it in a noise-robust SNN pipeline.
@@ -150,6 +154,7 @@ class NoiseRobustSNN:
             weight_scaling=weight_scaling,
             scaling_mode=scaling_mode,
             coder_kwargs=coder_kwargs,
+            spike_backend=spike_backend,
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -211,6 +216,7 @@ class NoiseRobustSNN:
             noise=noise,
             weight_scaling=scaling,
             expected_deletion=assumed,
+            spike_backend=self.spike_backend,
         )
         result: TransportResult = simulator.evaluate(
             x, labels, batch_size=batch_size, rng=rng

@@ -86,6 +86,11 @@ class ActivationTransportSimulator:
     encode_input:
         Also encode the network input as spikes (default True; the paper's
         noise acts on every spike train, input included).
+    spike_backend:
+        Force a spike-train representation ("dense" or "events") at every
+        interface; ``None`` (default) lets the coder/env preference decide.
+        On the event backend the encode -> corrupt -> decode chain never
+        materialises the dense ``(T, N)`` grid.
     """
 
     def __init__(
@@ -96,6 +101,7 @@ class ActivationTransportSimulator:
         weight_scaling: Optional[WeightScaling] = None,
         expected_deletion: float = 0.0,
         encode_input: bool = True,
+        spike_backend: Optional[str] = None,
     ):
         self.network = network
         self.coder = coder
@@ -103,6 +109,7 @@ class ActivationTransportSimulator:
         self.weight_scaling = weight_scaling or WeightScaling.disabled()
         self.expected_deletion = float(expected_deletion)
         self.encode_input = bool(encode_input)
+        self.spike_backend = spike_backend
 
     @property
     def scale_factor(self) -> float:
@@ -136,7 +143,9 @@ class ActivationTransportSimulator:
             else:
                 normalised = activations / scale
                 train = self.coder.encode(
-                    normalised, rng=derive_rng(generator, "encode", interface_index)
+                    normalised,
+                    rng=derive_rng(generator, "encode", interface_index),
+                    backend=self.spike_backend,
                 )
                 if self.noise is not None:
                     train = self.noise.apply(

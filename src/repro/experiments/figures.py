@@ -48,6 +48,7 @@ def _sweep(
     seed: int,
     workload: Optional[PreparedWorkload],
     eval_size: Optional[int],
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     if levels is None:
         levels = (
@@ -61,7 +62,9 @@ def _sweep(
         scale=scale,
         seed=seed,
     )
-    return run_noise_sweep(config, workload=workload, eval_size=eval_size)
+    return run_noise_sweep(
+        config, workload=workload, eval_size=eval_size, max_workers=max_workers
+    )
 
 
 def figure2_deletion(
@@ -71,10 +74,12 @@ def figure2_deletion(
     seed: int = 0,
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 2: accuracy and spike counts vs deletion probability (no WS)."""
     methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
-    return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size)
+    return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size,
+                  max_workers)
 
 
 def figure3_jitter(
@@ -84,10 +89,12 @@ def figure3_jitter(
     seed: int = 0,
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 3: accuracy and spike counts vs jitter intensity (no WS)."""
     methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
-    return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size)
+    return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size,
+                  max_workers)
 
 
 def figure4_weight_scaling_ttas(
@@ -97,6 +104,7 @@ def figure4_weight_scaling_ttas(
     seed: int = 0,
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
     ttas_durations: Sequence[int] = (1, 2, 3, 4, 5),
 ) -> SweepResult:
     """Fig. 4: weight scaling for every coding plus TTAS(t_a)+WS vs deletion."""
@@ -105,7 +113,8 @@ def figure4_weight_scaling_ttas(
         MethodSpec(coding="ttas", weight_scaling=True, target_duration=t)
         for t in ttas_durations
     )
-    return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size)
+    return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size,
+                  max_workers)
 
 
 def figure5_activation_distribution(
@@ -147,6 +156,7 @@ def figure6_ttas_jitter(
     seed: int = 0,
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
     ttas_durations: Sequence[int] = (1, 2, 3, 4, 5, 10),
 ) -> SweepResult:
     """Fig. 6: TTFS vs TTAS(t_a) under jitter (no weight scaling)."""
@@ -154,7 +164,8 @@ def figure6_ttas_jitter(
     methods.extend(
         MethodSpec(coding="ttas", target_duration=t) for t in ttas_durations
     )
-    return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size)
+    return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size,
+                  max_workers)
 
 
 def figure7_deletion_comparison(
@@ -164,6 +175,7 @@ def figure7_deletion_comparison(
     seed: int = 0,
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
     ttas_duration: int = 5,
 ) -> SweepResult:
     """Fig. 7: every coding with and without WS, plus TTAS(5)+WS, vs deletion."""
@@ -172,7 +184,8 @@ def figure7_deletion_comparison(
     methods.append(
         MethodSpec(coding="ttas", weight_scaling=True, target_duration=ttas_duration)
     )
-    return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size)
+    return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size,
+                  max_workers)
 
 
 def figure8_jitter_comparison(
@@ -182,9 +195,11 @@ def figure8_jitter_comparison(
     seed: int = 0,
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
     ttas_duration: int = 10,
 ) -> SweepResult:
     """Fig. 8: rate/phase/burst/TTFS/TTAS(10) under jitter (no WS)."""
     methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
     methods.append(MethodSpec(coding="ttas", target_duration=ttas_duration))
-    return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size)
+    return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size,
+                  max_workers)

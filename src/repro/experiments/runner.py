@@ -1,27 +1,38 @@
-"""Generic (method x noise level) sweep runner.
+"""Generic (method x noise level) sweep runner with a parallel engine.
 
 Every figure and table of the paper is a sweep of one or more *methods*
 (coding scheme, with or without weight scaling, with a burst duration for
 TTAS) across a range of noise levels on a fixed trained network.  This module
 runs such sweeps and returns a structured result that the figure/table
 modules and the reporting code consume.
+
+The (method, level) cells of a sweep are statistically independent -- each
+draws its noise from an RNG stream derived solely from ``(seed, method label,
+level)`` -- so they can run concurrently.  ``run_noise_sweep(max_workers=N)``
+fans the cells out over a thread pool (the hot paths are numpy, which
+releases the GIL) and reassembles the curves in deterministic order, so the
+parallel result is bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.coding.registry import create_coder
-from repro.core.pipeline import NoiseRobustSNN
+from repro.core.pipeline import EvaluationResult, NoiseRobustSNN
 from repro.experiments.config import ExperimentScale, MethodSpec, SweepConfig
 from repro.experiments.workloads import PreparedWorkload, prepare_workload
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_rng
 
 logger = get_logger("experiments.runner")
+
+#: Environment variable providing the default worker count for sweeps.
+SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
 
 @dataclass
@@ -84,54 +95,75 @@ class SweepResult:
         return [curve.label for curve in self.curves]
 
 
-def _evaluate_method(
-    workload: PreparedWorkload,
-    method: MethodSpec,
-    noise_kind: str,
-    levels: Sequence[float],
-    scale: ExperimentScale,
-    seed: int,
-    eval_size: Optional[int] = None,
-    batch_size: int = 16,
-) -> MethodCurve:
-    """Evaluate one method at every noise level of the sweep."""
-    num_steps = scale.time_steps_for(method.coding)
-    pipeline = NoiseRobustSNN(
+def _method_pipeline(
+    workload: PreparedWorkload, method: MethodSpec, scale: ExperimentScale
+) -> NoiseRobustSNN:
+    """Build the (cheap, stateless-for-evaluation) pipeline of one method."""
+    return NoiseRobustSNN(
         network=workload.network,
         coding=method.coding,
-        num_steps=num_steps,
+        num_steps=scale.time_steps_for(method.coding),
         weight_scaling=method.weight_scaling,
         coder_kwargs=method.coder_kwargs(),
     )
-    x, y = workload.evaluation_slice(eval_size)
-    accuracies: List[float] = []
-    spike_counts: List[int] = []
-    spikes_per_sample: List[float] = []
-    for level in levels:
-        deletion = level if noise_kind == "deletion" else 0.0
-        jitter = level if noise_kind == "jitter" else 0.0
-        result = pipeline.evaluate(
-            x, y,
-            deletion=deletion,
-            jitter=jitter,
-            batch_size=batch_size,
-            rng=derive_rng(seed, "noise", method.display_label(), level),
-        )
-        accuracies.append(result.accuracy)
-        spike_counts.append(result.total_spikes)
-        spikes_per_sample.append(result.spikes_per_sample)
-        logger.info(
-            "%s | %s %s=%.2f -> acc=%.3f spikes/sample=%.0f",
-            workload.dataset_name, method.display_label(), noise_kind, level,
-            result.accuracy, result.spikes_per_sample,
-        )
-    return MethodCurve(
-        method=method,
-        levels=list(levels),
-        accuracies=accuracies,
-        spike_counts=spike_counts,
-        spikes_per_sample=spikes_per_sample,
+
+
+def _evaluate_cell(
+    pipeline: NoiseRobustSNN,
+    workload: PreparedWorkload,
+    method: MethodSpec,
+    noise_kind: str,
+    level: float,
+    seed: int,
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+) -> EvaluationResult:
+    """Evaluate one (method, level) cell of the sweep.
+
+    The noise RNG is derived from ``(seed, method label, level)`` alone, so
+    the realisation is independent of which worker runs the cell and of the
+    order cells execute in -- the property that makes the parallel sweep
+    bit-identical to the serial one.
+    """
+    deletion = level if noise_kind == "deletion" else 0.0
+    jitter = level if noise_kind == "jitter" else 0.0
+    result = pipeline.evaluate(
+        x, y,
+        deletion=deletion,
+        jitter=jitter,
+        batch_size=batch_size,
+        rng=derive_rng(seed, "noise", method.display_label(), level),
     )
+    logger.info(
+        "%s | %s %s=%.2f -> acc=%.3f spikes/sample=%.0f",
+        workload.dataset_name, method.display_label(), noise_kind, level,
+        result.accuracy, result.spikes_per_sample,
+    )
+    return result
+
+
+def resolve_max_workers(max_workers: Optional[int] = None) -> int:
+    """Resolve the sweep worker count.
+
+    ``None`` falls back to the ``REPRO_SWEEP_WORKERS`` environment variable
+    (default 1, i.e. serial); 0 or a negative value means "one worker per
+    CPU".  Explicit values are honoured as given -- note that the sweep is
+    CPU-bound numpy, so more workers than physical cores oversubscribes and
+    can *slow the sweep down*; prefer 0 over guessing a count.
+    """
+    if max_workers is None:
+        env = os.environ.get(SWEEP_WORKERS_ENV, "").strip()
+        try:
+            max_workers = int(env) if env else 1
+        except ValueError:
+            raise ValueError(
+                f"{SWEEP_WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    max_workers = int(max_workers)
+    if max_workers <= 0:
+        max_workers = os.cpu_count() or 1
+    return max_workers
 
 
 def run_noise_sweep(
@@ -140,6 +172,7 @@ def run_noise_sweep(
     eval_size: Optional[int] = None,
     batch_size: int = 16,
     use_cache: bool = True,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Run a full (method x noise level) sweep.
 
@@ -156,18 +189,52 @@ def run_noise_sweep(
         Transport-evaluation batch size.
     use_cache:
         Forwarded to :func:`prepare_workload` when the workload is built here.
+    max_workers:
+        Evaluate the (method, level) cells on a thread pool of this size;
+        see :func:`resolve_max_workers` for the ``None``/0 conventions.  The
+        result is bit-identical to the serial run regardless of the value.
     """
     if workload is None:
         workload = prepare_workload(
             config.dataset, scale=config.scale, seed=config.seed, use_cache=use_cache
         )
-    curves = [
-        _evaluate_method(
-            workload, method, config.noise_kind, config.levels,
-            config.scale, config.seed, eval_size=eval_size, batch_size=batch_size,
-        )
-        for method in config.methods
+    x, y = workload.evaluation_slice(eval_size)
+    pipelines = [
+        _method_pipeline(workload, method, config.scale) for method in config.methods
     ]
+    cells = [
+        (method_index, level)
+        for method_index in range(len(config.methods))
+        for level in config.levels
+    ]
+
+    def evaluate(cell: Tuple[int, float]) -> EvaluationResult:
+        method_index, level = cell
+        return _evaluate_cell(
+            pipelines[method_index], workload, config.methods[method_index],
+            config.noise_kind, level, config.seed, x, y, batch_size,
+        )
+
+    workers = resolve_max_workers(max_workers)
+    if workers > 1 and len(cells) > 1:
+        with ThreadPoolExecutor(max_workers=min(workers, len(cells))) as pool:
+            results = list(pool.map(evaluate, cells))
+    else:
+        results = [evaluate(cell) for cell in cells]
+
+    curves: List[MethodCurve] = []
+    num_levels = len(config.levels)
+    for method_index, method in enumerate(config.methods):
+        cell_results = results[method_index * num_levels:(method_index + 1) * num_levels]
+        curves.append(
+            MethodCurve(
+                method=method,
+                levels=list(config.levels),
+                accuracies=[r.accuracy for r in cell_results],
+                spike_counts=[r.total_spikes for r in cell_results],
+                spikes_per_sample=[r.spikes_per_sample for r in cell_results],
+            )
+        )
     return SweepResult(
         config=config,
         curves=curves,

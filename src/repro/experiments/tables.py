@@ -103,6 +103,7 @@ def _run_table(
     eval_size: Optional[int],
     include_spikes: bool,
     name: str,
+    max_workers: Optional[int] = None,
 ) -> TableResult:
     rows: List[TableRow] = []
     for dataset in datasets:
@@ -115,7 +116,9 @@ def _run_table(
             scale=scale,
             seed=seed,
         )
-        sweep: SweepResult = run_noise_sweep(config, workload=workload, eval_size=eval_size)
+        sweep: SweepResult = run_noise_sweep(
+            config, workload=workload, eval_size=eval_size, max_workers=max_workers
+        )
         rows.extend(
             _curve_to_row(dataset, curve, include_spikes) for curve in sweep.curves
         )
@@ -129,6 +132,7 @@ def table1_deletion(
     seed: int = 0,
     workloads: Optional[Dict[str, PreparedWorkload]] = None,
     eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
     ttas_duration: int = 5,
 ) -> TableResult:
     """Table I: accuracy and spike counts under deletion, all methods + WS."""
@@ -142,6 +146,7 @@ def table1_deletion(
     return _run_table(
         datasets, methods, "deletion", levels, scale, seed, workloads, eval_size,
         include_spikes=True, name="Table I (spike deletion)",
+        max_workers=max_workers,
     )
 
 
@@ -152,6 +157,7 @@ def table2_jitter(
     seed: int = 0,
     workloads: Optional[Dict[str, PreparedWorkload]] = None,
     eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
     ttas_duration: int = 10,
 ) -> TableResult:
     """Table II: accuracy under jitter for phase/burst/TTFS/TTAS (no WS)."""
@@ -164,4 +170,5 @@ def table2_jitter(
     return _run_table(
         datasets, methods, "jitter", levels, scale, seed, workloads, eval_size,
         include_spikes=False, name="Table II (spike jitter)",
+        max_workers=max_workers,
     )

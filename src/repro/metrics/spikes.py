@@ -14,7 +14,7 @@ from typing import Dict, Mapping, Optional
 
 import numpy as np
 
-from repro.snn.spikes import SpikeTrainArray
+from repro.snn.spikes import SpikeTrain
 from repro.utils.validation import check_positive
 
 
@@ -54,12 +54,12 @@ def spike_statistics(
     )
 
 
-def spike_train_sparsity(train: SpikeTrainArray) -> float:
+def spike_train_sparsity(train: SpikeTrain) -> float:
     """Fraction of (step, neuron) slots that carry no spike."""
-    total_slots = train.counts.size
+    total_slots = train.num_steps * train.num_neurons
     if total_slots == 0:
         return 1.0
-    return float(np.mean(train.counts == 0))
+    return 1.0 - train.occupied_slots() / float(total_slots)
 
 
 def energy_proxy(

@@ -2,31 +2,32 @@
 
 from __future__ import annotations
 
-from typing import Optional
-
-from repro.snn.spikes import SpikeTrainArray
-from repro.utils.rng import RngLike, default_rng
+from repro.snn.spikes import SpikeTrain
+from repro.utils.rng import RngLike
 
 
 class SpikeNoise:
     """Base class of spike-train noise models.
 
-    A noise model is a stochastic transform of a :class:`SpikeTrainArray`.
-    Implementations must not mutate the input train.
+    A noise model is a stochastic transform of a spike train (either the
+    dense or the event-driven backend -- models go through the shared train
+    protocol and preserve the input's representation).  Implementations must
+    not mutate the input train; with that contract, no-op paths may return a
+    buffer-sharing view instead of a defensive copy.
     """
 
     #: Registry-style name used in experiment configs and reports.
     name: str = "noise"
 
-    def apply(self, train: SpikeTrainArray, rng: RngLike = None) -> SpikeTrainArray:
-        """Return a noisy copy of ``train``."""
+    def apply(self, train: SpikeTrain, rng: RngLike = None) -> SpikeTrain:
+        """Return a noisy version of ``train`` (the input is left untouched)."""
         raise NotImplementedError
 
     def describe(self) -> str:
         """Short human-readable description used in table/figure captions."""
         return self.name
 
-    def __call__(self, train: SpikeTrainArray, rng: RngLike = None) -> SpikeTrainArray:
+    def __call__(self, train: SpikeTrain, rng: RngLike = None) -> SpikeTrain:
         return self.apply(train, rng=rng)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -38,8 +39,8 @@ class IdentityNoise(SpikeNoise):
 
     name = "clean"
 
-    def apply(self, train: SpikeTrainArray, rng: RngLike = None) -> SpikeTrainArray:
-        return train.copy()
+    def apply(self, train: SpikeTrain, rng: RngLike = None) -> SpikeTrain:
+        return train.view()
 
     def describe(self) -> str:
         return "clean"

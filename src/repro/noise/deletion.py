@@ -10,7 +10,7 @@ designed to compensate.
 from __future__ import annotations
 
 from repro.noise.base import SpikeNoise
-from repro.snn.spikes import SpikeTrainArray
+from repro.snn.spikes import SpikeTrain
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_probability
 
@@ -23,7 +23,7 @@ class DeletionNoise(SpikeNoise):
     def __init__(self, probability: float):
         self.probability = check_probability("probability", probability)
 
-    def apply(self, train: SpikeTrainArray, rng: RngLike = None) -> SpikeTrainArray:
+    def apply(self, train: SpikeTrain, rng: RngLike = None) -> SpikeTrain:
         return train.delete_spikes(self.probability, rng=rng)
 
     def expected_survival(self) -> float:

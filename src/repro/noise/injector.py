@@ -7,7 +7,7 @@ from typing import Iterable, List, Optional, Sequence
 from repro.noise.base import IdentityNoise, SpikeNoise
 from repro.noise.deletion import DeletionNoise
 from repro.noise.jitter import JitterNoise
-from repro.snn.spikes import SpikeTrainArray
+from repro.snn.spikes import SpikeTrain
 from repro.utils.rng import RngLike, derive_rng
 
 
@@ -43,11 +43,13 @@ class NoiseInjector(SpikeNoise):
             models.append(IdentityNoise())
         return cls(models)
 
-    def apply(self, train: SpikeTrainArray, rng: RngLike = None) -> SpikeTrainArray:
+    def apply(self, train: SpikeTrain, rng: RngLike = None) -> SpikeTrain:
         result = train
         for index, model in enumerate(self.models):
             result = model.apply(result, rng=derive_rng(rng, model.name, index))
-        return result if result is not train else train.copy()
+        # Noise models never mutate their input, so a buffer-sharing view is
+        # enough to keep the returned train distinct from the argument.
+        return result if result is not train else train.view()
 
     def describe(self) -> str:
         if not self.models:

@@ -10,7 +10,7 @@ them instead.
 from __future__ import annotations
 
 from repro.noise.base import SpikeNoise
-from repro.snn.spikes import SpikeTrainArray
+from repro.snn.spikes import SpikeTrain
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_non_negative
 
@@ -37,7 +37,7 @@ class JitterNoise(SpikeNoise):
         self.sigma = float(sigma)
         self.mode = mode
 
-    def apply(self, train: SpikeTrainArray, rng: RngLike = None) -> SpikeTrainArray:
+    def apply(self, train: SpikeTrain, rng: RngLike = None) -> SpikeTrain:
         return train.jitter_spikes(self.sigma, rng=rng, mode=self.mode)
 
     def describe(self) -> str:

@@ -2,8 +2,9 @@
 
 This package provides the building blocks a converted deep SNN is made of:
 
-* :mod:`repro.snn.spikes` -- the :class:`SpikeTrainArray` container used by
-  every coder and noise model,
+* :mod:`repro.snn.spikes` -- the dense :class:`SpikeTrainArray` and
+  event-driven :class:`SpikeEvents` containers used by every coder and noise
+  model (plus the backend-selection helpers),
 * :mod:`repro.snn.kernels` -- post-synaptic-current kernels (constant,
   phase-weighted, burst-weighted, exponentially decaying),
 * :mod:`repro.snn.neurons` -- integrate-and-fire neurons, the single-spike
@@ -14,7 +15,17 @@ This package provides the building blocks a converted deep SNN is made of:
   simulator used to validate the fast activation-transport evaluator.
 """
 
-from repro.snn.spikes import SpikeTrainArray
+from repro.snn.spikes import (
+    DENSE_BACKEND,
+    EVENTS_BACKEND,
+    SPIKE_BACKENDS,
+    SpikeEvents,
+    SpikeTrain,
+    SpikeTrainArray,
+    get_spike_backend,
+    resolve_spike_backend,
+    set_spike_backend,
+)
 from repro.snn.kernels import (
     BurstKernel,
     ConstantKernel,
@@ -37,6 +48,14 @@ from repro.snn.simulator import SimulationRecord, TimeSteppedSimulator
 
 __all__ = [
     "SpikeTrainArray",
+    "SpikeEvents",
+    "SpikeTrain",
+    "DENSE_BACKEND",
+    "EVENTS_BACKEND",
+    "SPIKE_BACKENDS",
+    "resolve_spike_backend",
+    "set_spike_backend",
+    "get_spike_backend",
     "PSCKernel",
     "ConstantKernel",
     "ExponentialKernel",

@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.snn.neurons import NeuronState, SpikingNeuron
-from repro.snn.spikes import SpikeTrainArray
+from repro.snn.spikes import SpikeTrain, SpikeTrainArray
 from repro.utils.validation import check_positive
 
 #: A synaptic transform maps an instantaneous post-synaptic-current vector of
@@ -136,7 +136,7 @@ class TimeSteppedSimulator:
 
     def run(
         self,
-        input_spikes: SpikeTrainArray,
+        input_spikes: SpikeTrain,
         record_spikes: bool = False,
     ) -> SimulationRecord:
         """Simulate the network on a batch of encoded inputs.
@@ -144,12 +144,15 @@ class TimeSteppedSimulator:
         Parameters
         ----------
         input_spikes:
-            Spike trains of the input population with shape
-            ``(T, batch, features...)`` as produced by a coder's ``encode``.
+            Spike trains of the input population covering
+            ``(T, batch, features...)`` as produced by a coder's ``encode``
+            (either backend; the simulator is inherently dense-stepped and
+            converts events up front).
         record_spikes:
             Keep the full spike trains of every hidden layer in the record
             (memory heavy; meant for small validation runs and plots).
         """
+        input_spikes = input_spikes.to_dense()
         if input_spikes.num_steps != self.num_steps:
             raise ValueError(
                 f"input spike train has {input_spikes.num_steps} steps, "

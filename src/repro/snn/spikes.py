@@ -1,25 +1,100 @@
-"""Spike-train container.
+"""Spike-train containers: dense and event-driven backends.
 
-A :class:`SpikeTrainArray` stores the spike trains of a whole population of
-neurons over a finite time window as a dense integer array of shape
-``(T, *population_shape)``.  Entry ``[t, ...]`` holds the number of spikes the
-neuron emits at time step ``t`` (0 or 1 for most codes; burst-style codes may
-momentarily produce counts > 1 after jitter folds two spikes onto the same
-step).
+Two interchangeable representations of the spike trains of a neuron
+population over a finite time window are provided:
 
-The dense layout keeps every operation the library needs -- counting,
-deletion, jitter, kernel-weighted decoding -- a vectorised numpy expression,
-which is what makes the figure sweeps tractable without compiled extensions.
+* :class:`SpikeTrainArray` -- a dense integer array of shape
+  ``(T, *population_shape)`` where entry ``[t, ...]`` holds the number of
+  spikes the neuron emits at step ``t``.  Every operation is a vectorised
+  numpy expression over the full ``T x N`` grid, which is simple and fast for
+  *dense* codes (rate, phase, burst).
+* :class:`SpikeEvents` -- an event list ``(times, neuron_indices, counts)``
+  holding one entry per occupied ``(step, neuron)`` slot.  Temporal codes
+  (TTFS emits at most one spike per neuron, TTAS at most ``t_a``) leave the
+  dense grid >=95 % zeros, so deletion, jitter and kernel decoding cost
+  O(spikes) on events instead of O(T*N) on the grid -- the same economy that
+  makes event-driven neuromorphic hardware efficient.
+
+Both classes expose the same public surface (``total_spikes``,
+``first_spike_times``, ``weighted_sum``, ``delete_spikes``, ``jitter_spikes``,
+``merge``, ...), so coders, noise models and the transport evaluator operate
+on either backend without branching.  Lossless conversion is available through
+``to_dense()`` / ``to_events()`` on both classes.
+
+Trains are immutable by convention: transforms return new containers and never
+modify their input, which lets zero-noise fast paths share buffers through
+:meth:`view` instead of copying.
+
+Backend selection is resolved by :func:`resolve_spike_backend` in this order:
+explicit request > :func:`set_spike_backend` process override >
+``REPRO_SPIKE_BACKEND`` environment variable > the coder's preference.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+import os
+from typing import Iterable, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.utils.rng import RngLike, default_rng
 from repro.utils.validation import check_positive
+
+#: Name of the dense (T, *population) array backend.
+DENSE_BACKEND = "dense"
+#: Name of the event-list backend.
+EVENTS_BACKEND = "events"
+#: All valid backend names.
+SPIKE_BACKENDS = (DENSE_BACKEND, EVENTS_BACKEND)
+
+#: Environment variable overriding the per-coder backend preference.
+SPIKE_BACKEND_ENV = "REPRO_SPIKE_BACKEND"
+
+_BACKEND_OVERRIDE: Optional[str] = None
+
+
+def _validate_backend(name: str) -> str:
+    key = str(name).strip().lower()
+    if key not in SPIKE_BACKENDS:
+        raise ValueError(
+            f"unknown spike backend {name!r}; available: {list(SPIKE_BACKENDS)}"
+        )
+    return key
+
+
+def set_spike_backend(backend: Optional[str]) -> None:
+    """Set (or clear, with ``None``) the process-wide spike-backend override.
+
+    The override sits between an explicit per-call request and the
+    ``REPRO_SPIKE_BACKEND`` environment variable.
+    """
+    global _BACKEND_OVERRIDE
+    _BACKEND_OVERRIDE = None if backend is None else _validate_backend(backend)
+
+
+def get_spike_backend() -> Optional[str]:
+    """The process-wide backend override, or ``None`` when not set."""
+    return _BACKEND_OVERRIDE
+
+
+def resolve_spike_backend(
+    requested: Optional[str] = None, preferred: str = DENSE_BACKEND
+) -> str:
+    """Resolve which spike backend to use.
+
+    Precedence: ``requested`` argument, then the :func:`set_spike_backend`
+    override, then the ``REPRO_SPIKE_BACKEND`` environment variable, then the
+    caller's ``preferred`` default (normally the coder's
+    ``preferred_backend``).
+    """
+    if requested is not None:
+        return _validate_backend(requested)
+    if _BACKEND_OVERRIDE is not None:
+        return _BACKEND_OVERRIDE
+    env = os.environ.get(SPIKE_BACKEND_ENV, "").strip()
+    if env:
+        return _validate_backend(env)
+    return _validate_backend(preferred)
 
 
 class SpikeTrainArray:
@@ -111,6 +186,10 @@ class SpikeTrainArray:
         """Per-neuron firing rate (spikes per time step)."""
         return self.counts.sum(axis=0) / float(self.num_steps)
 
+    def occupied_slots(self) -> int:
+        """Number of ``(step, neuron)`` slots that carry at least one spike."""
+        return int(np.count_nonzero(self.counts))
+
     def first_spike_times(self, no_spike_value: Optional[int] = None) -> np.ndarray:
         """Per-neuron time of the first spike.
 
@@ -127,6 +206,19 @@ class SpikeTrainArray:
         """Deep copy."""
         return SpikeTrainArray(self.counts.copy(), copy=False)
 
+    def view(self) -> "SpikeTrainArray":
+        """New wrapper sharing this train's buffer (trains are immutable)."""
+        return SpikeTrainArray(self.counts, copy=False)
+
+    # -- backend conversion --------------------------------------------------
+    def to_dense(self) -> "SpikeTrainArray":
+        """This train (already dense)."""
+        return self
+
+    def to_events(self) -> "SpikeEvents":
+        """Lossless conversion to the event-driven backend."""
+        return SpikeEvents.from_dense(self)
+
     # -- transformations -----------------------------------------------------
     def weighted_sum(self, weights_per_step: np.ndarray) -> np.ndarray:
         """Sum of per-spike weights for every neuron.
@@ -136,7 +228,7 @@ class SpikeTrainArray:
         population shape.  This is the decoding primitive every kernel-based
         coder uses.
         """
-        weights_per_step = np.asarray(weights_per_step, dtype=np.float64)
+        weights_per_step = np.asarray(weights_per_step)
         if weights_per_step.shape != (self.num_steps,):
             raise ValueError(
                 f"weights_per_step must have shape ({self.num_steps},), "
@@ -145,12 +237,14 @@ class SpikeTrainArray:
         # einsum avoids materialising the full weighted (T, *population) array.
         flat = self.counts.reshape(self.num_steps, -1)
         result = np.einsum(
-            "t,tn->n", weights_per_step.astype(np.float32), flat.astype(np.float32)
+            "t,tn->n",
+            weights_per_step.astype(np.float32, copy=False),
+            flat.astype(np.float32),
         )
         return result.reshape(self.population_shape).astype(np.float64)
 
     def delete_spikes(self, probability: float, rng: RngLike = None) -> "SpikeTrainArray":
-        """Return a copy with every spike independently deleted with ``probability``.
+        """Return a train with every spike independently deleted with ``probability``.
 
         Implemented as binomial thinning of the count array, which is exact
         for counts > 1 as well.
@@ -158,7 +252,7 @@ class SpikeTrainArray:
         if not 0.0 <= probability <= 1.0:
             raise ValueError(f"probability must lie in [0, 1], got {probability}")
         if probability == 0.0:
-            return self.copy()
+            return self.view()
         generator = default_rng(rng)
         if self.counts.max(initial=0) <= 1:
             # Fast path for binary trains: one uniform draw per slot.
@@ -174,7 +268,7 @@ class SpikeTrainArray:
         rng: RngLike = None,
         mode: str = "clip",
     ) -> "SpikeTrainArray":
-        """Return a copy with every spike time shifted by quantised Gaussian noise.
+        """Return a train with every spike time shifted by quantised Gaussian noise.
 
         Each individual spike is moved by ``round(N(0, sigma))`` steps.  Spikes
         pushed outside the window are clamped to the window edge when
@@ -185,12 +279,12 @@ class SpikeTrainArray:
         if mode not in ("clip", "drop"):
             raise ValueError(f"mode must be 'clip' or 'drop', got {mode!r}")
         if sigma == 0.0:
-            return self.copy()
+            return self.view()
         generator = default_rng(rng)
         flat = self.counts.reshape(self.num_steps, -1)
         times, neurons = np.nonzero(flat)
         if times.size == 0:
-            return self.copy()
+            return self.view()
         multiplicity = flat[times, neurons].astype(np.int64)
         times = np.repeat(times, multiplicity)
         neurons = np.repeat(neurons, multiplicity)
@@ -207,8 +301,10 @@ class SpikeTrainArray:
         new_flat = new_flat.reshape(self.num_steps, num_neurons).astype(np.int16)
         return SpikeTrainArray(new_flat.reshape(self.counts.shape), copy=False)
 
-    def merge(self, other: "SpikeTrainArray") -> "SpikeTrainArray":
+    def merge(self, other: "SpikeTrain") -> "SpikeTrainArray":
         """Superpose two spike trains of identical shape."""
+        if isinstance(other, SpikeEvents):
+            other = other.to_dense()
         if self.counts.shape != other.counts.shape:
             raise ValueError(
                 f"cannot merge spike trains of shapes {self.counts.shape} "
@@ -218,6 +314,8 @@ class SpikeTrainArray:
 
     # -- dunder helpers --------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if isinstance(other, SpikeEvents):
+            return other == self
         if not isinstance(other, SpikeTrainArray):
             return NotImplemented
         return bool(np.array_equal(self.counts, other.counts))
@@ -227,3 +325,390 @@ class SpikeTrainArray:
             f"SpikeTrainArray(T={self.num_steps}, population={self.population_shape}, "
             f"spikes={self.total_spikes()})"
         )
+
+
+class SpikeEvents:
+    """Event-driven spike-train representation.
+
+    Stores the train as three parallel arrays: ``times`` (step index),
+    ``neuron_indices`` (flat index into the population) and ``event_counts``
+    (spike multiplicity).  Events are brought into *canonical form* -- sorted
+    by ``(time, neuron)`` with duplicate slots coalesced -- lazily, only when
+    an operation needs it (equality, dense conversion, slot counting): the
+    hot transforms (thinning, jitter shifts, kernel scatter-decode) are
+    order-independent, so deferring the O(E log E) sort keeps them strictly
+    O(events).
+
+    All transforms cost O(events) instead of the dense backend's O(T*N),
+    which is what makes this the preferred backend for sparse temporal codes
+    (TTFS/TTAS).
+
+    Parameters
+    ----------
+    times / neuron_indices / counts:
+        Parallel event arrays, in any order (duplicate slots allowed; they
+        are coalesced on canonicalisation).  ``counts`` may be omitted
+        (defaults to one spike per event); zero-count events are dropped
+        at construction.
+    num_steps:
+        Window length ``T``.
+    population_shape:
+        Shape of the neuron population; ``neuron_indices`` index its
+        flattened (C-order) layout.
+    """
+
+    __slots__ = ("times", "neuron_indices", "event_counts",
+                 "_num_steps", "_population_shape", "_canonical", "_dense_cache")
+
+    def __init__(
+        self,
+        times: np.ndarray,
+        neuron_indices: np.ndarray,
+        counts: Optional[np.ndarray],
+        num_steps: int,
+        population_shape: Tuple[int, ...],
+        _canonical: bool = False,
+    ):
+        check_positive("num_steps", num_steps)
+        self._num_steps = int(num_steps)
+        self._population_shape = tuple(int(s) for s in population_shape)
+        if not self._population_shape:
+            raise ValueError("population_shape must have at least one dimension")
+
+        times = np.asarray(times, dtype=np.int64).reshape(-1)
+        neuron_indices = np.asarray(neuron_indices, dtype=np.int64).reshape(-1)
+        if counts is None:
+            counts = np.ones(times.shape, dtype=np.int64)
+        else:
+            counts = np.asarray(counts)
+            if counts.dtype.kind not in "iu":
+                if not np.all(counts == np.round(counts)):
+                    raise ValueError("spike counts must be integers")
+            counts = counts.astype(np.int64).reshape(-1)
+        if not (times.shape == neuron_indices.shape == counts.shape):
+            raise ValueError(
+                "times, neuron_indices and counts must have the same length"
+            )
+        if times.size:
+            if times.min() < 0 or times.max() >= self._num_steps:
+                raise ValueError(f"spike times must lie in [0, {self._num_steps})")
+            if neuron_indices.min() < 0 or neuron_indices.max() >= self.num_neurons:
+                raise ValueError(
+                    f"neuron indices must lie in [0, {self.num_neurons})"
+                )
+            if counts.min() < 0:
+                raise ValueError("spike counts cannot be negative")
+            if counts.min() == 0:
+                # Drop zero-count events eagerly: the order-independent fast
+                # paths (jitter, first_spike_times) trust every event to
+                # carry at least one spike.
+                nonzero = counts > 0
+                times = times[nonzero]
+                neuron_indices = neuron_indices[nonzero]
+                counts = counts[nonzero]
+        self.times = times
+        self.neuron_indices = neuron_indices
+        self.event_counts = counts
+        self._canonical = bool(_canonical) or times.size == 0
+        self._dense_cache: Optional[np.ndarray] = None
+
+    def _ensure_canonical(self) -> None:
+        """Bring the event arrays into canonical form (idempotent).
+
+        The train's semantic content is unchanged, so this is safe even on
+        buffer-sharing views (the view re-binds its own references only).
+        """
+        if not self._canonical:
+            self.times, self.neuron_indices, self.event_counts = self._canonicalise(
+                self.times, self.neuron_indices, self.event_counts, self.num_neurons
+            )
+            self._canonical = True
+
+    @staticmethod
+    def _canonicalise(
+        times: np.ndarray,
+        neuron_indices: np.ndarray,
+        counts: np.ndarray,
+        num_neurons: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Sort events by (time, neuron) and coalesce duplicate slots."""
+        if times.size == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        linear = times * num_neurons + neuron_indices
+        order = np.argsort(linear, kind="stable")
+        linear = linear[order]
+        counts = counts[order]
+        boundaries = np.empty(linear.shape, dtype=bool)
+        boundaries[0] = True
+        np.not_equal(linear[1:], linear[:-1], out=boundaries[1:])
+        if not boundaries.all():
+            group = np.cumsum(boundaries) - 1
+            counts = np.bincount(group, weights=counts).astype(np.int64)
+            linear = linear[boundaries]
+        return linear // num_neurons, linear % num_neurons, counts
+
+    # -- constructors --------------------------------------------------------
+    @classmethod
+    def zeros(cls, num_steps: int, population_shape: Tuple[int, ...]) -> "SpikeEvents":
+        """An empty event train of ``num_steps`` steps for the given population."""
+        empty = np.empty(0, dtype=np.int64)
+        return cls(empty, empty, None, num_steps, population_shape, _canonical=True)
+
+    @classmethod
+    def from_dense(cls, train: Union[SpikeTrainArray, np.ndarray]) -> "SpikeEvents":
+        """Lossless conversion from the dense backend."""
+        if not isinstance(train, SpikeTrainArray):
+            train = SpikeTrainArray(train)
+        flat = train.counts.reshape(train.num_steps, -1)
+        times, neurons = np.nonzero(flat)
+        counts = flat[times, neurons].astype(np.int64)
+        # np.nonzero walks the array in C order, so the events arrive already
+        # sorted by (time, neuron) with unique slots: canonical by design.
+        return cls(
+            times.astype(np.int64), neurons.astype(np.int64), counts,
+            train.num_steps, train.population_shape, _canonical=True,
+        )
+
+    @classmethod
+    def from_spike_times(
+        cls,
+        times: Iterable[int],
+        neuron_indices: Iterable[int],
+        num_steps: int,
+        num_neurons: int,
+    ) -> "SpikeEvents":
+        """Build a single-population (1-D) train from parallel time/index lists."""
+        times = np.asarray(list(times), dtype=np.int64)
+        neuron_indices = np.asarray(list(neuron_indices), dtype=np.int64)
+        if times.shape != neuron_indices.shape:
+            raise ValueError("times and neuron_indices must have the same length")
+        return cls(times, neuron_indices, None, num_steps, (int(num_neurons),))
+
+    # -- basic properties ----------------------------------------------------
+    @property
+    def num_steps(self) -> int:
+        """Length of the time window ``T``."""
+        return self._num_steps
+
+    @property
+    def population_shape(self) -> Tuple[int, ...]:
+        """Shape of the neuron population."""
+        return self._population_shape
+
+    @property
+    def num_neurons(self) -> int:
+        """Total number of neurons in the population."""
+        return int(np.prod(self._population_shape))
+
+    @property
+    def num_events(self) -> int:
+        """Number of occupied ``(step, neuron)`` slots."""
+        self._ensure_canonical()
+        return int(self.times.size)
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Dense ``(T, *population)`` materialisation of this train.
+
+        Provided for interoperability with dense-only consumers (the
+        time-stepped simulator, plotting, tests); event hot paths never touch
+        it.  The materialisation is cached -- treat it as read-only.
+        """
+        if self._dense_cache is None:
+            self._dense_cache = self.to_dense().counts
+        return self._dense_cache
+
+    def total_spikes(self) -> int:
+        """Total number of spikes in the window."""
+        return int(self.event_counts.sum())
+
+    def spikes_per_neuron(self) -> np.ndarray:
+        """Per-neuron spike counts (shape ``population_shape``)."""
+        flat = np.bincount(
+            self.neuron_indices, weights=self.event_counts, minlength=self.num_neurons
+        ).astype(np.int64)
+        return flat.reshape(self._population_shape)
+
+    def firing_rates(self) -> np.ndarray:
+        """Per-neuron firing rate (spikes per time step)."""
+        return self.spikes_per_neuron() / float(self._num_steps)
+
+    def occupied_slots(self) -> int:
+        """Number of ``(step, neuron)`` slots that carry at least one spike."""
+        return self.num_events
+
+    def first_spike_times(self, no_spike_value: Optional[int] = None) -> np.ndarray:
+        """Per-neuron time of the first spike (see dense counterpart)."""
+        fill = self._num_steps if no_spike_value is None else int(no_spike_value)
+        # Use num_steps as the in-flight sentinel (always > any event time) so
+        # a negative user fill value cannot shadow real spike times.
+        first = np.full(self.num_neurons, self._num_steps, dtype=np.int64)
+        if self.times.size:
+            np.minimum.at(first, self.neuron_indices, self.times)
+        result = np.where(first < self._num_steps, first, fill)
+        return result.reshape(self._population_shape)
+
+    def copy(self) -> "SpikeEvents":
+        """Deep copy."""
+        return SpikeEvents(
+            self.times.copy(), self.neuron_indices.copy(), self.event_counts.copy(),
+            self._num_steps, self._population_shape, _canonical=self._canonical,
+        )
+
+    def view(self) -> "SpikeEvents":
+        """New wrapper sharing this train's buffers (trains are immutable)."""
+        return SpikeEvents(
+            self.times, self.neuron_indices, self.event_counts,
+            self._num_steps, self._population_shape, _canonical=self._canonical,
+        )
+
+    # -- backend conversion --------------------------------------------------
+    def to_dense(self) -> SpikeTrainArray:
+        """Lossless conversion to the dense backend."""
+        self._ensure_canonical()
+        flat = np.zeros((self._num_steps, self.num_neurons), dtype=np.int16)
+        if self.times.size:
+            # Canonical events have unique (time, neuron) slots.
+            flat[self.times, self.neuron_indices] = self.event_counts
+        return SpikeTrainArray(
+            flat.reshape((self._num_steps,) + self._population_shape), copy=False
+        )
+
+    def to_events(self) -> "SpikeEvents":
+        """This train (already event-driven)."""
+        return self
+
+    # -- transformations -----------------------------------------------------
+    def weighted_sum(self, weights_per_step: np.ndarray) -> np.ndarray:
+        """Sum of per-spike kernel weights for every neuron (decode primitive).
+
+        Implemented as an O(events) scatter-add of ``kernel[t] * count``
+        instead of the dense backend's O(T*N) contraction.
+        """
+        weights_per_step = np.asarray(weights_per_step)
+        if weights_per_step.shape != (self._num_steps,):
+            raise ValueError(
+                f"weights_per_step must have shape ({self._num_steps},), "
+                f"got {weights_per_step.shape}"
+            )
+        if self.times.size == 0:
+            return np.zeros(self._population_shape, dtype=np.float64)
+        # Match the dense backend's float32 kernel precision, accumulate in
+        # float64 (bincount's native accumulator).
+        contrib = (
+            weights_per_step.astype(np.float32, copy=False)[self.times]
+            .astype(np.float64) * self.event_counts
+        )
+        flat = np.bincount(
+            self.neuron_indices, weights=contrib, minlength=self.num_neurons
+        )
+        return flat.reshape(self._population_shape)
+
+    def delete_spikes(self, probability: float, rng: RngLike = None) -> "SpikeEvents":
+        """Return a train with every spike independently deleted with ``probability``.
+
+        Binomial thinning over the event list: O(events) random draws instead
+        of one draw per dense ``(step, neuron)`` slot.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"probability must lie in [0, 1], got {probability}")
+        if probability == 0.0 or self.times.size == 0:
+            return self.view()
+        generator = default_rng(rng)
+        if probability == 1.0:
+            return SpikeEvents.zeros(self._num_steps, self._population_shape)
+        if self.event_counts.max(initial=0) <= 1:
+            # Fast path for binary trains: one uniform draw per event.
+            survivors = self.event_counts * (
+                generator.random(self.event_counts.shape, dtype=np.float32)
+                >= probability
+            )
+        else:
+            survivors = generator.binomial(self.event_counts, 1.0 - probability)
+        mask = survivors > 0
+        return SpikeEvents(
+            self.times[mask], self.neuron_indices[mask],
+            survivors[mask].astype(np.int64),
+            self._num_steps, self._population_shape, _canonical=self._canonical,
+        )
+
+    def jitter_spikes(
+        self,
+        sigma: float,
+        rng: RngLike = None,
+        mode: str = "clip",
+    ) -> "SpikeEvents":
+        """Return a train with every spike time shifted by quantised Gaussian noise.
+
+        Shifts are added directly to the event times -- no dense
+        ``nonzero``/``repeat``/``bincount`` reconstruction.
+        """
+        if sigma < 0:
+            raise ValueError(f"sigma must be >= 0, got {sigma}")
+        if mode not in ("clip", "drop"):
+            raise ValueError(f"mode must be 'clip' or 'drop', got {mode!r}")
+        if sigma == 0.0 or self.times.size == 0:
+            return self.view()
+        generator = default_rng(rng)
+        if self.event_counts.max(initial=0) <= 1:
+            times, neurons = self.times, self.neuron_indices
+        else:
+            # Each individual spike of a multi-count event moves independently.
+            times = np.repeat(self.times, self.event_counts)
+            neurons = np.repeat(self.neuron_indices, self.event_counts)
+        shifts = np.rint(generator.normal(0.0, sigma, size=times.shape)).astype(np.int64)
+        shifted = times + shifts
+        if mode == "clip":
+            shifted = np.clip(shifted, 0, self._num_steps - 1)
+        else:
+            keep = (shifted >= 0) & (shifted < self._num_steps)
+            shifted = shifted[keep]
+            neurons = neurons[keep]
+        return SpikeEvents(
+            shifted, neurons, None, self._num_steps, self._population_shape
+        )
+
+    def merge(self, other: "SpikeTrain") -> "SpikeEvents":
+        """Superpose two spike trains of identical window and population."""
+        if isinstance(other, SpikeTrainArray):
+            other = other.to_events()
+        if (self._num_steps != other.num_steps
+                or self._population_shape != other.population_shape):
+            raise ValueError(
+                f"cannot merge spike trains of shapes "
+                f"({self._num_steps}, {self._population_shape}) and "
+                f"({other.num_steps}, {other.population_shape})"
+            )
+        return SpikeEvents(
+            np.concatenate([self.times, other.times]),
+            np.concatenate([self.neuron_indices, other.neuron_indices]),
+            np.concatenate([self.event_counts, other.event_counts]),
+            self._num_steps, self._population_shape,
+        )
+
+    # -- dunder helpers --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SpikeTrainArray):
+            other = other.to_events()
+        if not isinstance(other, SpikeEvents):
+            return NotImplemented
+        self._ensure_canonical()
+        other._ensure_canonical()
+        return (
+            self._num_steps == other.num_steps
+            and self._population_shape == other.population_shape
+            and np.array_equal(self.times, other.times)
+            and np.array_equal(self.neuron_indices, other.neuron_indices)
+            and np.array_equal(self.event_counts, other.event_counts)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpikeEvents(T={self._num_steps}, population={self._population_shape}, "
+            f"events={self.num_events}, spikes={self.total_spikes()})"
+        )
+
+
+#: Either spike-train backend; the shared protocol every consumer codes against.
+SpikeTrain = Union[SpikeTrainArray, SpikeEvents]

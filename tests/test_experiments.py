@@ -125,6 +125,42 @@ class TestWorkloadAndRunner:
         assert curve.average_accuracy() == pytest.approx(0.6)
         assert curve.average_accuracy(exclude_clean=False) == pytest.approx(0.7)
 
+    def test_parallel_sweep_identical_to_serial(self, tiny_workload):
+        config = SweepConfig(
+            dataset="mnist",
+            methods=(MethodSpec(coding="ttfs"),
+                     MethodSpec(coding="ttas", target_duration=3),
+                     MethodSpec(coding="rate")),
+            noise_kind="deletion",
+            levels=(0.0, 0.3, 0.6),
+            scale=TEST_SCALE,
+            seed=0,
+        )
+        serial = run_noise_sweep(
+            config, workload=tiny_workload, eval_size=12, max_workers=1
+        )
+        parallel = run_noise_sweep(
+            config, workload=tiny_workload, eval_size=12, max_workers=4
+        )
+        assert serial.labels() == parallel.labels()
+        for s, p in zip(serial.curves, parallel.curves):
+            assert s.accuracies == p.accuracies
+            assert s.spike_counts == p.spike_counts
+            assert s.spikes_per_sample == p.spikes_per_sample
+
+    def test_resolve_max_workers(self, monkeypatch):
+        import os
+
+        from repro.experiments.runner import SWEEP_WORKERS_ENV, resolve_max_workers
+
+        monkeypatch.delenv(SWEEP_WORKERS_ENV, raising=False)
+        assert resolve_max_workers(None) == 1
+        assert resolve_max_workers(3) == 3
+        assert resolve_max_workers(0) == (os.cpu_count() or 1)
+        monkeypatch.setenv(SWEEP_WORKERS_ENV, "5")
+        assert resolve_max_workers(None) == 5
+        assert resolve_max_workers(2) == 2
+
     def test_table2_on_tiny_workload(self, tiny_workload):
         table = table2_jitter(
             datasets=("mnist",), levels=(0.0, 2.0), scale=TEST_SCALE,
