@@ -1,11 +1,22 @@
-"""Micro-benchmark of the spike-train hot paths: dense vs event backend.
+"""Micro-benchmark of the evaluation hot paths.
 
-Times encode / delete / jitter / decode (and the full delete -> jitter ->
-decode corruption chain every sweep cell runs) at the sparsity levels the
-temporal codes actually produce -- TTFS (<= 1 spike per neuron) and TTAS
-(<= t_a spikes per neuron) at T=64 -- on both spike-train backends, and
-writes the results to ``BENCH_hot_paths.json`` at the repository root so the
-performance trajectory is tracked across PRs.
+Two sections, both written to ``BENCH_hot_paths.json`` at the repository root
+so the performance trajectory is tracked across PRs (and gated by the CI
+``bench-regression`` job, see ``benchmarks/check_bench_regression.py``):
+
+* **spike paths** -- encode / delete / jitter / decode (and the full
+  delete -> jitter -> decode corruption chain every sweep cell runs) at the
+  sparsity levels the temporal codes actually produce -- TTFS (<= 1 spike per
+  neuron) and TTAS (<= t_a spikes per neuron) at T=64 -- on both spike-train
+  backends,
+* **analog paths** -- the convolutional segment forward/backward on the
+  ``loop`` vs ``strided`` analog backends at a VGG-ish shape
+  (N=8, C=64, 32x32, k=3), plus an end-to-end conv->relu->pool->dense
+  segment pass, with the max abs output difference recorded alongside the
+  speedup.
+
+A small machine calibration (fixed-size GEMM + memcpy) is also recorded so
+the CI regression gate can normalise away absolute machine-speed differences.
 
 Run it as a plain script (pytest naming conventions skip ``bench_*`` files)::
 
@@ -34,6 +45,15 @@ import numpy as np
 
 from repro.coding.registry import create_coder
 from repro.metrics.spikes import spike_train_sparsity
+from repro.nn.layers import (
+    ANALOG_BACKENDS,
+    AvgPool2D,
+    Conv2D,
+    Dense,
+    Flatten,
+    ReLU,
+    analog_backend,
+)
 
 #: Output file, at the repository root so it is versioned with the code.
 OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_hot_paths.json")
@@ -41,6 +61,10 @@ OUTPUT_PATH = os.path.join(REPO_ROOT, "BENCH_hot_paths.json")
 #: Noise levels of the timed corruption chain (paper's mid-range).
 DELETION_P = 0.2
 JITTER_SIGMA = 1.5
+
+#: Shape of the analog conv benchmark (the ISSUE-2 acceptance shape):
+#: batch 8, 64 channels in/out, 32x32 feature maps, 3x3 kernel.
+ANALOG_SHAPE = {"batch": 8, "channels": 64, "size": 32, "kernel": 3}
 
 
 def _time(fn: Callable[[], object], repeats: int) -> float:
@@ -100,6 +124,80 @@ def bench_coder(
     return results
 
 
+def bench_machine_calibration(repeats: int) -> Dict[str, float]:
+    """Fixed-size reference ops used to normalise cross-machine comparisons.
+
+    The CI regression gate divides every timing by the ratio of these
+    calibration numbers so a slower/faster runner does not register as a
+    code-level regression/improvement.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.random((512, 512), dtype=np.float32)
+    b = rng.random((512, 512), dtype=np.float32)
+    buf = rng.random(4_000_000, dtype=np.float32)
+    return {
+        "gemm_512": _time(lambda: a @ b, repeats),
+        "memcpy_16mb": _time(lambda: buf.copy(), repeats),
+    }
+
+
+def bench_analog_forward(repeats: int) -> Dict[str, Dict[str, float]]:
+    """Time the conv/segment analog paths on the loop vs strided backends."""
+    cfg = ANALOG_SHAPE
+    n, c, size, k = cfg["batch"], cfg["channels"], cfg["size"], cfg["kernel"]
+    rng = np.random.default_rng(0)
+    x = rng.random((n, c, size, size), dtype=np.float32)
+    conv = Conv2D(c, c, kernel_size=k, stride=1, padding=1, rng=0)
+    grad = rng.random((n, c, size, size), dtype=np.float32)
+
+    segment = [
+        Conv2D(c, c, kernel_size=k, stride=1, padding=1, rng=1),
+        ReLU(),
+        AvgPool2D(2),
+        Flatten(),
+        Dense(c * (size // 2) * (size // 2), 10, rng=2),
+    ]
+
+    def run_segment(values):
+        out = values
+        for layer in segment:
+            out = layer.forward(out, training=False)
+        return out
+
+    results: Dict[str, Dict[str, float]] = {"config": dict(cfg)}
+    outputs = {}
+    for case, fn in (
+        ("conv_forward", lambda: conv.forward(x)),
+        ("conv_backward", None),
+        ("segment_forward", lambda: run_segment(x)),
+    ):
+        timings: Dict[str, float] = {}
+        for be in ANALOG_BACKENDS:
+            with analog_backend(be):
+                if case == "conv_backward":
+                    conv.forward(x, training=True)
+                    timings[be] = _time(lambda: conv.backward(grad), repeats)
+                    outputs[(case, be)] = conv.backward(grad)
+                else:
+                    timings[be] = _time(fn, repeats)
+                    outputs[(case, be)] = fn()
+        timings["speedup_loop_over_strided"] = timings["loop"] / timings["strided"]
+        timings["max_abs_diff"] = float(
+            np.abs(outputs[(case, "loop")] - outputs[(case, "strided")]).max()
+        )
+        results[case] = timings
+
+    print(f"\nanalog forward (N={n}, C={c}, {size}x{size}, k={k})")
+    print(f"  {'path':<18}{'loop':>12}{'strided':>12}{'speedup':>10}{'maxdiff':>12}")
+    for case in ("conv_forward", "conv_backward", "segment_forward"):
+        row = results[case]
+        print(f"  {case:<18}{row['loop'] * 1e3:>10.2f}ms"
+              f"{row['strided'] * 1e3:>10.2f}ms"
+              f"{row['speedup_loop_over_strided']:>9.1f}x"
+              f"{row['max_abs_diff']:>12.2e}")
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--population", type=int, default=4096,
@@ -137,18 +235,24 @@ def main(argv=None) -> int:
             "machine": platform.machine(),
             "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         },
+        "calibration": bench_machine_calibration(args.repeats),
         "results": {},
     }
     for name, coder in coders.items():
         report["results"][name] = bench_coder(name, coder, values, args.repeats)
+    report["results"]["analog_forward"] = bench_analog_forward(args.repeats)
 
     chain_speedups = {
         name: result["speedup_dense_over_events"]["delete_jitter_decode"]
         for name, result in report["results"].items()
+        if "speedup_dense_over_events" in result
     }
     report["summary"] = {
         "chain_speedup_min": min(chain_speedups.values()),
         "chain_speedup_max": max(chain_speedups.values()),
+        "analog_conv_forward_speedup": report["results"]["analog_forward"][
+            "conv_forward"
+        ]["speedup_loop_over_strided"],
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)

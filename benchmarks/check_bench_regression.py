@@ -1,0 +1,170 @@
+"""Benchmark regression gate for CI.
+
+Compares a freshly measured ``bench_hot_paths`` JSON report against the
+committed baseline (``BENCH_hot_paths.json`` at the repository root) and
+fails -- exit code 1 -- when any hot-path median regressed by more than the
+tolerance factor (default 1.5x, configurable via the ``REPRO_BENCH_TOLERANCE``
+environment variable or ``--tolerance``).
+
+Absolute timings are not comparable across machines, so every ratio is
+normalised by the *calibration ratio*: both reports record the median time of
+fixed-size reference ops (a 512x512 GEMM and a 16 MB memcpy, see
+``bench_machine_calibration``), and the candidate/baseline ratio of those ops
+estimates how much faster or slower the measuring machine is overall.  A hot
+path only counts as regressed if it slowed down relative to that estimate.
+
+Usage::
+
+    python benchmarks/bench_hot_paths.py --output /tmp/bench.json
+    python benchmarks/check_bench_regression.py --candidate /tmp/bench.json
+
+Exit codes: 0 = no regression, 1 = regression found, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+from typing import Dict, Iterator, Tuple
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Default baseline: the committed report at the repository root.
+BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_hot_paths.json")
+
+#: Environment variable overriding the regression tolerance factor.
+TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE"
+
+#: Default regression tolerance: fail on >1.5x slowdown of any hot path.
+DEFAULT_TOLERANCE = 1.5
+
+#: Subtrees/keys under ``results`` that are not timings.
+_NON_TIMING_KEYS = ("config", "sparsity", "max_abs_diff")
+
+
+def iter_timings(results: Dict, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    """Yield ``(dotted.path, seconds)`` for every timing leaf in a report."""
+    for key, value in results.items():
+        if key in _NON_TIMING_KEYS or key.startswith("speedup"):
+            continue
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, dict):
+            yield from iter_timings(value, path)
+        elif isinstance(value, (int, float)):
+            yield path, float(value)
+
+
+def calibration_ratio(baseline: Dict, candidate: Dict) -> float:
+    """Estimate the candidate machine's speed relative to the baseline's.
+
+    Returns the median ratio of the shared calibration ops; 1.0 when either
+    report predates the calibration section.
+    """
+    base_cal = baseline.get("calibration") or {}
+    cand_cal = candidate.get("calibration") or {}
+    ratios = [
+        cand_cal[op] / base_cal[op]
+        for op in base_cal
+        if op in cand_cal and base_cal[op] > 0
+    ]
+    if not ratios:
+        return 1.0
+    return float(statistics.median(ratios))
+
+
+def compare(
+    baseline: Dict, candidate: Dict, tolerance: float
+) -> Tuple[bool, str]:
+    """Compare two reports; returns ``(ok, human-readable table)``."""
+    base_timings = dict(iter_timings(baseline.get("results", {})))
+    cand_timings = dict(iter_timings(candidate.get("results", {})))
+    if not base_timings:
+        return False, "baseline report contains no timings"
+    if not cand_timings:
+        return False, "candidate report contains no timings"
+
+    machine = calibration_ratio(baseline, candidate)
+    rows = []
+    regressions = []
+    for path, base in sorted(base_timings.items()):
+        cand = cand_timings.get(path)
+        if cand is None:
+            # A baseline path the candidate no longer measures would silently
+            # lose its regression protection -- fail and force a deliberate
+            # baseline regeneration instead.
+            rows.append((path, base, float("nan"), float("nan"), "MISSING"))
+            regressions.append(path)
+            continue
+        ratio = (cand / base) / machine if base > 0 else float("inf")
+        status = "ok"
+        if ratio > tolerance:
+            status = "REGRESSED"
+            regressions.append(path)
+        rows.append((path, base, cand, ratio, status))
+    new_paths = sorted(set(cand_timings) - set(base_timings))
+
+    width = max((len(path) for path, *_ in rows), default=10)
+    lines = [
+        f"machine calibration ratio: {machine:.2f}x "
+        f"(candidate machine vs baseline machine)",
+        f"tolerance: {tolerance:.2f}x normalised slowdown",
+        f"{'hot path':<{width}}{'baseline':>12}{'candidate':>12}"
+        f"{'norm ratio':>12}  status",
+    ]
+    for path, base, cand, ratio, status in rows:
+        lines.append(
+            f"{path:<{width}}{base * 1e3:>10.2f}ms{cand * 1e3:>10.2f}ms"
+            f"{ratio:>11.2f}x  {status}"
+        )
+    for path in new_paths:
+        lines.append(f"{path:<{width}}{'--':>12}"
+                     f"{cand_timings[path] * 1e3:>10.2f}ms{'--':>12}  new")
+    if regressions:
+        lines.append("")
+        lines.append(
+            f"FAIL: {len(regressions)} hot path(s) regressed beyond "
+            f"{tolerance:.2f}x or went missing: " + ", ".join(regressions)
+        )
+    else:
+        lines.append("")
+        lines.append("OK: no hot path regressed beyond tolerance")
+    return not regressions, "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=BASELINE_PATH,
+                        help=f"baseline JSON (default {BASELINE_PATH})")
+    parser.add_argument("--candidate", required=True,
+                        help="freshly measured JSON to check")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="regression tolerance factor (default: "
+                             f"${TOLERANCE_ENV} or {DEFAULT_TOLERANCE})")
+    args = parser.parse_args(argv)
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get(TOLERANCE_ENV, DEFAULT_TOLERANCE))
+    if tolerance <= 0:
+        print(f"tolerance must be positive, got {tolerance}", file=sys.stderr)
+        return 2
+
+    try:
+        with open(args.baseline, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(args.candidate, encoding="utf-8") as handle:
+            candidate = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot load reports: {error}", file=sys.stderr)
+        return 2
+
+    ok, table = compare(baseline, candidate, tolerance)
+    print(table)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

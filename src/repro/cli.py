@@ -33,6 +33,7 @@ from repro.experiments import (
 from repro.experiments.config import BENCH_SCALE, TEST_SCALE, ExperimentScale
 from repro.experiments.workloads import prepare_workload
 from repro.core.pipeline import NoiseRobustSNN
+from repro.nn.layers import ANALOG_BACKENDS
 from repro.snn.spikes import SPIKE_BACKENDS
 
 _FIGURES = {
@@ -98,6 +99,10 @@ def build_parser() -> argparse.ArgumentParser:
                           help="force the spike-train representation "
                                "(default: the coder's preference, overridable "
                                "via REPRO_SPIKE_BACKEND)")
+    evaluate.add_argument("--analog-backend", choices=ANALOG_BACKENDS, default=None,
+                          help="force the analog im2col/conv engine for the "
+                               "segment forward passes (default: strided, "
+                               "overridable via REPRO_ANALOG_BACKEND)")
     return parser
 
 
@@ -132,6 +137,7 @@ def _run_evaluate(args: argparse.Namespace) -> str:
         weight_scaling=args.weight_scaling,
         coder_kwargs=coder_kwargs,
         spike_backend=args.spike_backend,
+        analog_backend=args.analog_backend,
     )
     x, y = workload.evaluation_slice(args.eval_size)
     result = pipeline.evaluate(

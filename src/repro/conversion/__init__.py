@@ -15,6 +15,7 @@ from repro.conversion.normalization import (
     ActivationStatistics,
     collect_activation_statistics,
     fold_batch_norm,
+    fused_batch_norm_params,
 )
 from repro.conversion.converter import (
     ConversionError,
@@ -27,6 +28,7 @@ __all__ = [
     "ActivationStatistics",
     "collect_activation_statistics",
     "fold_batch_norm",
+    "fused_batch_norm_params",
     "ConversionError",
     "ConvertedSNN",
     "NetworkSegment",

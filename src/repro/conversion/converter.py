@@ -30,7 +30,7 @@ from repro.conversion.normalization import (
     fold_batch_norm,
     spiking_point_indices,
 )
-from repro.nn.layers import Layer, MaxPool2D, ReLU
+from repro.nn.layers import Dropout, Identity, Layer, MaxPool2D, ReLU
 from repro.nn.model import Sequential
 from repro.utils.logging import get_logger
 from repro.utils.validation import check_positive
@@ -66,10 +66,27 @@ class NetworkSegment:
     activation_scale: float = 1.0
     index: int = 0
 
+    def inference_layers(self) -> List[Layer]:
+        """Segment layers with inference-inert ops removed (cached).
+
+        ``Identity`` placeholders left behind by batch-norm folding and
+        ``Dropout`` (inert outside training) are skipped, so the per-step hot
+        path touches only layers that actually transform the activations.
+        """
+        compiled = getattr(self, "_compiled_layers", None)
+        if compiled is None:
+            compiled = [
+                layer
+                for layer in self.layers
+                if not isinstance(layer, (Identity, Dropout))
+            ]
+            self._compiled_layers = compiled
+        return compiled
+
     def forward(self, values: np.ndarray) -> np.ndarray:
         """Run the analog layers of this segment in inference mode."""
         out = values
-        for layer in self.layers:
+        for layer in self.inference_layers():
             out = layer.forward(out, training=False)
         return out
 
@@ -102,6 +119,9 @@ class ConvertedSNN:
     input_scale: float
     statistics: Optional[ActivationStatistics] = None
     source_name: str = "model"
+    #: Whether batch normalisation was fused into the adjacent weighted
+    #: layers at conversion time (the fast inference path).
+    batch_norm_fused: bool = True
 
     @property
     def num_spiking_populations(self) -> int:
@@ -147,6 +167,7 @@ def convert_dnn_to_snn(
     percentile: float = 99.9,
     allow_max_pooling: bool = False,
     input_scale: Optional[float] = None,
+    fuse_batch_norm: bool = True,
 ) -> ConvertedSNN:
     """Convert a trained DNN classifier into a :class:`ConvertedSNN`.
 
@@ -167,6 +188,11 @@ def convert_dnn_to_snn(
     input_scale:
         Override for the input scale; by default the robust maximum of the
         calibration inputs (at least 1.0 for [0, 1] images).
+    fuse_batch_norm:
+        Fold batch normalisation into the adjacent Conv/Dense weights at
+        conversion time (default).  When disabled the batch-norm layers stay
+        in the segments as analog inference ops -- mathematically identical
+        but slower; kept for equivalence testing against the fused path.
     """
     check_positive("percentile", percentile)
     calibration_inputs = np.asarray(calibration_inputs, dtype=np.float32)
@@ -178,7 +204,7 @@ def convert_dnn_to_snn(
             "rescale the data to [0, 1] instead of mean/std normalisation"
         )
 
-    folded = fold_batch_norm(model)
+    folded = fold_batch_norm(model) if fuse_batch_norm else model.copy()
     for layer in folded.layers:
         if isinstance(layer, MaxPool2D) and not allow_max_pooling:
             raise ConversionError(
@@ -231,6 +257,7 @@ def convert_dnn_to_snn(
         input_scale=float(input_scale),
         statistics=statistics,
         source_name=model.name,
+        batch_norm_fused=bool(fuse_batch_norm),
     )
     logger.debug("converted %s: %s", model.name, converted)
     return converted

@@ -54,6 +54,40 @@ class ActivationStatistics:
         return len(self.scales)
 
 
+def fused_batch_norm_params(
+    weight: np.ndarray,
+    bias: Optional[np.ndarray],
+    gamma: np.ndarray,
+    beta: np.ndarray,
+    mean: np.ndarray,
+    var: np.ndarray,
+    eps: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fuse inference-mode batch-norm statistics into a weighted layer.
+
+    Returns the ``(weight, bias)`` pair such that ``W'x + b'`` equals
+    ``BN(Wx + b)`` with the given running statistics.  ``weight`` may be a
+    convolution kernel ``(out_channels, in_channels, kh, kw)`` or a dense
+    matrix ``(in_features, out_features)``; the normalised axis is inferred
+    from the layout.  ``bias=None`` is treated as zero.
+    """
+    scale = gamma / np.sqrt(var + eps)
+    if weight.ndim == 4:
+        # Conv weight layout: (out_channels, in_channels, kh, kw).
+        fused_weight = weight * scale[:, None, None, None]
+    elif weight.ndim == 2:
+        # Dense weight layout: (in_features, out_features).
+        fused_weight = weight * scale[None, :]
+    else:
+        raise ValueError(
+            f"cannot fuse batch norm into a weight of shape {weight.shape}"
+        )
+    if bias is None:
+        bias = np.zeros(scale.shape[0], dtype=weight.dtype)
+    fused_bias = (bias - mean) * scale + beta
+    return fused_weight.astype(np.float32), fused_bias.astype(np.float32)
+
+
 def fold_batch_norm(model: Sequential) -> Sequential:
     """Return a copy of ``model`` with batch normalisation folded away.
 
@@ -80,26 +114,18 @@ def fold_batch_norm(model: Sequential) -> Sequential:
                 f"cannot fold {layer.name}: preceding layer "
                 f"{type(previous).__name__} has no weights"
             )
-        gamma = layer.params["gamma"]
-        beta = layer.params["beta"]
-        mean = layer.running_mean
-        var = layer.running_var
-        scale = gamma / np.sqrt(var + layer.eps)
-        weight = previous.params["weight"]
-        if isinstance(previous, Conv2D):
-            # Conv weight layout: (out_channels, in_channels, kh, kw).
-            previous.params["weight"] = (weight * scale[:, None, None, None]).astype(
-                np.float32
-            )
-        else:
-            # Dense weight layout: (in_features, out_features).
-            previous.params["weight"] = (weight * scale[None, :]).astype(np.float32)
-        bias = previous.params.get("bias")
-        if bias is None:
-            bias = np.zeros(scale.shape[0], dtype=np.float32)
-            previous.params["bias"] = bias
-            previous.use_bias = True
-        previous.params["bias"] = ((bias - mean) * scale + beta).astype(np.float32)
+        weight, bias = fused_batch_norm_params(
+            previous.params["weight"],
+            previous.params.get("bias"),
+            layer.params["gamma"],
+            layer.params["beta"],
+            layer.running_mean,
+            layer.running_var,
+            layer.eps,
+        )
+        previous.params["weight"] = weight
+        previous.params["bias"] = bias
+        previous.use_bias = True
         layers[index] = Identity(name=f"{layer.name}_folded")
         logger.debug("folded %s into %s", layer.name, previous.name)
     return folded

@@ -92,6 +92,7 @@ class NoiseRobustSNN:
         scaling_mode: str = "inverse",
         coder_kwargs: Optional[Dict] = None,
         spike_backend: Optional[str] = None,
+        analog_backend: Optional[str] = None,
     ):
         self.network = network
         self.coding = coding
@@ -101,6 +102,8 @@ class NoiseRobustSNN:
         self.scaling_mode = scaling_mode
         #: Spike-train backend override ("dense"/"events"; None = coder/env).
         self.spike_backend = spike_backend
+        #: Analog (im2col/conv) backend override ("loop"/"strided"; None = env).
+        self.analog_backend = analog_backend
 
     # -- construction -------------------------------------------------------------
     @classmethod
@@ -115,6 +118,8 @@ class NoiseRobustSNN:
         scaling_mode: str = "inverse",
         percentile: float = 99.9,
         spike_backend: Optional[str] = None,
+        analog_backend: Optional[str] = None,
+        fuse_batch_norm: bool = True,
         **coder_kwargs,
     ) -> "NoiseRobustSNN":
         """Convert a trained DNN and wrap it in a noise-robust SNN pipeline.
@@ -139,11 +144,19 @@ class NoiseRobustSNN:
             :class:`repro.core.weight_scaling.WeightScaling`).
         percentile:
             Activation-scale percentile for conversion.
+        analog_backend:
+            Analog (im2col/conv) backend override for the segment forward
+            passes ("loop" or "strided"); ``None`` defers to
+            ``REPRO_ANALOG_BACKEND`` / the strided default.
+        fuse_batch_norm:
+            Fold batch normalisation into the adjacent weighted layers at
+            conversion time (default; see :func:`convert_dnn_to_snn`).
         coder_kwargs:
             Extra keyword arguments forwarded to the coder constructor.
         """
         network = convert_dnn_to_snn(
-            model, calibration_inputs, percentile=percentile
+            model, calibration_inputs, percentile=percentile,
+            fuse_batch_norm=fuse_batch_norm,
         )
         if target_duration is not None:
             coder_kwargs["target_duration"] = int(target_duration)
@@ -155,6 +168,7 @@ class NoiseRobustSNN:
             scaling_mode=scaling_mode,
             coder_kwargs=coder_kwargs,
             spike_backend=spike_backend,
+            analog_backend=analog_backend,
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -217,6 +231,7 @@ class NoiseRobustSNN:
             weight_scaling=scaling,
             expected_deletion=assumed,
             spike_backend=self.spike_backend,
+            analog_backend=self.analog_backend,
         )
         result: TransportResult = simulator.evaluate(
             x, labels, batch_size=batch_size, rng=rng

@@ -28,7 +28,7 @@ import numpy as np
 from repro.coding.base import NeuralCoder
 from repro.coding.rate import RateCoder
 from repro.conversion.converter import ConvertedSNN, NetworkSegment
-from repro.nn.layers import Layer, ReLU
+from repro.nn.layers import Layer, MaxPool2D, ReLU
 from repro.snn.simulator import SimulatorLayer, TimeSteppedSimulator
 from repro.utils.validation import check_positive
 
@@ -79,7 +79,9 @@ class _SegmentTransform:
 
 
 def _strip_trailing_relu(segment: NetworkSegment) -> List[Layer]:
-    layers = list(segment.layers)
+    # Inference-inert layers (folded-BN Identity placeholders, Dropout) are
+    # dropped up front so the per-step transform only runs real compute.
+    layers = list(segment.inference_layers())
     if layers and isinstance(layers[-1], ReLU):
         layers = layers[:-1]
     return layers
@@ -151,9 +153,18 @@ def build_time_stepped_simulator(
 
     input_kernel = coder.step_weights()
     hidden_kernel = np.full(coder.num_steps, theta, dtype=np.float64)
+    # The batched readout collapses the per-step readout GEMMs into one; it
+    # is exact only for linear readout transforms.  Max pooling (allowed into
+    # segments via allow_max_pooling) is the one non-linear analog op that
+    # can appear there, so fall back to per-step evaluation in that case.
+    readout_layers = _strip_trailing_relu(network.segments[-1])
+    readout_is_linear = not any(
+        isinstance(layer, MaxPool2D) for layer in readout_layers
+    )
     return TimeSteppedSimulator(
         layers=layers,
         num_steps=coder.num_steps,
         input_kernel=input_kernel,
         hidden_kernel=hidden_kernel,
+        readout_mode="batched" if readout_is_linear else "per-step",
     )

@@ -27,6 +27,7 @@ import numpy as np
 from repro.coding.base import NeuralCoder
 from repro.conversion.converter import ConvertedSNN
 from repro.core.weight_scaling import WeightScaling
+from repro.nn.layers import analog_backend as analog_backend_scope
 from repro.noise.base import SpikeNoise
 from repro.utils.rng import RngLike, default_rng, derive_rng
 from repro.utils.validation import check_positive
@@ -91,6 +92,10 @@ class ActivationTransportSimulator:
         interface; ``None`` (default) lets the coder/env preference decide.
         On the event backend the encode -> corrupt -> decode chain never
         materialises the dense ``(T, N)`` grid.
+    analog_backend:
+        Force an analog (im2col/conv) backend ("loop" or "strided") for the
+        segment forward passes; ``None`` (default) defers to the process
+        override / ``REPRO_ANALOG_BACKEND`` / the strided default.
     """
 
     def __init__(
@@ -102,6 +107,7 @@ class ActivationTransportSimulator:
         expected_deletion: float = 0.0,
         encode_input: bool = True,
         spike_backend: Optional[str] = None,
+        analog_backend: Optional[str] = None,
     ):
         self.network = network
         self.coder = coder
@@ -110,6 +116,7 @@ class ActivationTransportSimulator:
         self.expected_deletion = float(expected_deletion)
         self.encode_input = bool(encode_input)
         self.spike_backend = spike_backend
+        self.analog_backend = analog_backend
 
     @property
     def scale_factor(self) -> float:
@@ -124,6 +131,14 @@ class ActivationTransportSimulator:
 
         Returns ``(logits, spikes_per_interface)``.
         """
+        if self.analog_backend is not None:
+            with analog_backend_scope(self.analog_backend):
+                return self._forward_impl(x, rng)
+        return self._forward_impl(x, rng)
+
+    def _forward_impl(
+        self, x: np.ndarray, rng: RngLike = None
+    ) -> "tuple[np.ndarray, Dict[int, int]]":
         x = np.asarray(x, dtype=np.float32)
         if np.any(x < 0):
             raise ValueError(
@@ -139,7 +154,7 @@ class ActivationTransportSimulator:
         for interface_index, segment in enumerate(self.network.segments):
             skip_encoding = interface_index == 0 and not self.encode_input
             if skip_encoding:
-                psc = activations
+                psc = activations if factor == 1.0 else activations * factor
             else:
                 normalised = activations / scale
                 train = self.coder.encode(
@@ -152,9 +167,11 @@ class ActivationTransportSimulator:
                         train, rng=derive_rng(generator, "noise", interface_index)
                     )
                 spikes_per_interface[interface_index] = train.total_spikes()
-                psc = self.coder.decode(train) * scale
-            psc = psc * factor
-            activations = segment.forward(psc.astype(np.float32))
+                # Decode is the batched per-timestep weighted sum; the
+                # calibration scale and weight-scaling factor fold into one
+                # multiply instead of two full-tensor passes.
+                psc = self.coder.decode(train) * (scale * factor)
+            activations = segment.forward(np.asarray(psc, dtype=np.float32))
             if segment.ends_with_spikes:
                 scale = segment.activation_scale
         return activations, spikes_per_interface

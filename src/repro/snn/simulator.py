@@ -103,7 +103,17 @@ class TimeSteppedSimulator:
         Per-step PSC weights (length ``num_steps``) applied to input spikes
         and to hidden-layer spikes respectively.  They come from the coder's
         :class:`repro.snn.kernels.PSCKernel`.
+    readout_mode:
+        ``"batched"`` (default) accumulates the readout layer's input PSC
+        over the whole window and applies its synaptic transform **once** per
+        run -- one GEMM per batch instead of one per time step.  This is
+        exact whenever the readout transform is linear (true for every
+        transform built by :mod:`repro.core.timestep`, where the bias is
+        injected separately via ``step_bias``).  ``"per-step"`` keeps the
+        original step-by-step evaluation for non-linear custom transforms.
     """
+
+    READOUT_MODES = ("batched", "per-step")
 
     def __init__(
         self,
@@ -111,14 +121,21 @@ class TimeSteppedSimulator:
         num_steps: int,
         input_kernel: np.ndarray,
         hidden_kernel: Optional[np.ndarray] = None,
+        readout_mode: str = "batched",
     ):
         check_positive("num_steps", num_steps)
         if not layers:
             raise ValueError("the simulator needs at least one layer")
         if layers[-1].neuron is not None:
             raise ValueError("the last layer must be a readout layer (neuron=None)")
+        if readout_mode not in self.READOUT_MODES:
+            raise ValueError(
+                f"readout_mode must be one of {self.READOUT_MODES}, "
+                f"got {readout_mode!r}"
+            )
         self.layers = list(layers)
         self.num_steps = int(num_steps)
+        self.readout_mode = readout_mode
         self.input_kernel = self._check_kernel(input_kernel)
         self.hidden_kernel = (
             self._check_kernel(hidden_kernel)
@@ -165,6 +182,9 @@ class TimeSteppedSimulator:
         states: List[Optional[NeuronState]] = []
         hidden_counts: List[Optional[np.ndarray]] = []
         output_potential: Optional[np.ndarray] = None
+        readout_psc: Optional[np.ndarray] = None
+        readout_steps = 0
+        batched_readout = self.readout_mode == "batched"
         spike_counts: Dict[str, int] = {layer.name: 0 for layer in self.layers}
         recorded: Dict[str, List[np.ndarray]] = {}
 
@@ -174,6 +194,15 @@ class TimeSteppedSimulator:
                 * self.input_kernel[step]
             )
             for index, layer in enumerate(self.layers):
+                if layer.neuron is None and batched_readout:
+                    # The readout transform is linear, so the per-step
+                    # weighted sums collapse into one GEMM after the loop.
+                    if readout_psc is None:
+                        readout_psc = np.zeros_like(current_psc)
+                    readout_psc += current_psc
+                    readout_steps += 1
+                    current_psc = None
+                    break
                 drive = layer.transform(current_psc)
                 if layer.step_bias is not None:
                     drive = drive + layer.step_bias
@@ -192,6 +221,12 @@ class TimeSteppedSimulator:
                 if record_spikes:
                     recorded.setdefault(layer.name, []).append(spikes.copy())
                 current_psc = spikes.astype(np.float64) * self.hidden_kernel[step]
+
+        if batched_readout and readout_psc is not None:
+            readout = self.layers[-1]
+            output_potential = np.asarray(readout.transform(readout_psc))
+            if readout.step_bias is not None:
+                output_potential = output_potential + readout_steps * readout.step_bias
 
         if output_potential is None:
             raise RuntimeError("simulation finished without reaching the readout layer")

@@ -1,0 +1,399 @@
+"""Equivalence suite for the analog (im2col/conv) backends.
+
+The ``strided`` engine must compute the same unfold/fold/convolution as the
+original ``loop`` engine: bit-identical columns (same element order feeds the
+same GEMM), and forward/backward conv outputs that agree to float-rounding
+(the fused channels-last path reorders the GEMM reduction, which only moves
+the last bits).  Also covers the fused-BN conversion path, the backend
+selection machinery and the batched simulator readout.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.conversion import convert_dnn_to_snn, fused_batch_norm_params
+from repro.nn import build_vgg
+from repro.nn.layers import (
+    ANALOG_BACKEND_ENV,
+    ANALOG_BACKENDS,
+    AvgPool2D,
+    Conv2D,
+    MaxPool2D,
+    analog_backend,
+    col2im,
+    col2im_loop,
+    col2im_strided,
+    get_analog_backend,
+    im2col,
+    im2col_loop,
+    im2col_strided,
+    resolve_analog_backend,
+    set_analog_backend,
+)
+from repro.nn.norm import BatchNorm2D
+from repro.snn.simulator import SimulatorLayer, TimeSteppedSimulator
+from repro.snn.spikes import SpikeTrainArray
+
+# Odd shapes, padding variants, stride > 1 and non-square kernels.
+UNFOLD_CASES = [
+    # (n, c, h, w, kh, kw, stride, padding)
+    (2, 3, 7, 5, 3, 3, 1, 1),
+    (1, 2, 9, 9, 3, 3, 2, 2),
+    (2, 1, 6, 8, 2, 4, 2, 0),
+    (3, 4, 5, 5, 1, 1, 1, 0),
+    (1, 3, 11, 7, 3, 2, 2, 1),
+    (2, 2, 8, 8, 4, 4, 4, 0),
+    (1, 1, 5, 9, 5, 3, 1, 2),
+]
+
+
+class TestIm2ColEquivalence:
+    @pytest.mark.parametrize("case", UNFOLD_CASES)
+    def test_columns_bit_identical(self, case, rng):
+        n, c, h, w, kh, kw, stride, padding = case
+        x = rng.random((n, c, h, w)).astype(np.float32)
+        loop_cols, oh_l, ow_l = im2col_loop(x, kh, kw, stride, padding)
+        strided_cols, oh_s, ow_s = im2col_strided(x, kh, kw, stride, padding)
+        assert (oh_l, ow_l) == (oh_s, ow_s)
+        assert np.array_equal(loop_cols, strided_cols)
+
+    @pytest.mark.parametrize("case", UNFOLD_CASES)
+    def test_fold_back_bit_identical(self, case, rng):
+        n, c, h, w, kh, kw, stride, padding = case
+        if stride > min(kh, kw):
+            pytest.skip("fold-back rejects stride > kernel")
+        x = rng.random((n, c, h, w)).astype(np.float32)
+        cols, _, _ = im2col_loop(x, kh, kw, stride, padding)
+        grad = rng.random(cols.shape).astype(np.float32)
+        folded_loop = col2im_loop(grad, x.shape, kh, kw, stride, padding)
+        folded_strided = col2im_strided(grad, x.shape, kh, kw, stride, padding)
+        assert np.array_equal(folded_loop, folded_strided)
+
+    def test_dispatch_follows_backend(self, rng):
+        x = rng.random((1, 2, 6, 6)).astype(np.float32)
+        with analog_backend("loop"):
+            loop_cols, _, _ = im2col(x, 3, 3, 1, 1)
+        with analog_backend("strided"):
+            strided_cols, _, _ = im2col(x, 3, 3, 1, 1)
+        assert np.array_equal(loop_cols, strided_cols)
+
+    def test_kernel_too_large_raises_on_both(self):
+        x = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            im2col_loop(x, 5, 5, 1, 0)
+        with pytest.raises(ValueError):
+            im2col_strided(x, 5, 5, 1, 0)
+
+
+class TestCol2ImValidation:
+    @pytest.mark.parametrize("backend", ANALOG_BACKENDS)
+    def test_stride_larger_than_kernel_raises(self, backend):
+        cols = np.zeros((4, 4), dtype=np.float32)
+        with pytest.raises(ValueError, match="stride"):
+            col2im(cols, (1, 1, 7, 7), 2, 2, 3, 0, backend=backend)
+
+    def test_stride_equal_kernel_is_supported(self, rng):
+        x = rng.random((1, 2, 4, 4)).astype(np.float32)
+        cols, _, _ = im2col(x, 2, 2, 2, 0)
+        restored = col2im(cols, x.shape, 2, 2, 2, 0)
+        assert np.allclose(restored, x)
+
+    def test_non_square_kernel_stride_check(self):
+        # stride 3 > kw=2 must be rejected even though kh=4 would allow it.
+        cols = np.zeros((4, 8), dtype=np.float32)
+        with pytest.raises(ValueError):
+            col2im(cols, (1, 1, 10, 10), 4, 2, 3, 0)
+
+
+class TestConv2DEquivalence:
+    CONV_CASES = [
+        # (kernel, stride, padding, use_bias)
+        (3, 1, 1, True),
+        (3, 2, 1, True),
+        (2, 1, 0, False),
+        (2, 2, 0, True),
+        (3, 3, 2, True),
+        (1, 1, 0, True),
+    ]
+
+    @staticmethod
+    def _float64_conv(kernel, stride, padding, use_bias):
+        layer = Conv2D(3, 5, kernel_size=kernel, stride=stride, padding=padding,
+                       use_bias=use_bias, rng=0)
+        for key in layer.params:
+            layer.params[key] = layer.params[key].astype(np.float64)
+        return layer
+
+    @pytest.mark.parametrize("case", CONV_CASES)
+    def test_forward_backward_float64(self, case, rng):
+        kernel, stride, padding, use_bias = case
+        layer = self._float64_conv(kernel, stride, padding, use_bias)
+        x = rng.random((2, 3, 9, 9))
+        grad = None
+        results = {}
+        for backend in ANALOG_BACKENDS:
+            with analog_backend(backend):
+                out = layer.forward(x, training=True)
+                if grad is None:
+                    grad = rng.random(out.shape)
+                grad_in = layer.backward(grad)
+                results[backend] = (
+                    out, grad_in, layer.grads["weight"].copy(),
+                    layer.grads.get("bias", np.zeros(1)).copy(),
+                )
+        for a, b in zip(results["loop"], results["strided"]):
+            assert np.allclose(a, b, rtol=1e-10, atol=1e-12)
+
+    def test_forward_float32_tolerance(self, rng):
+        # The acceptance-shape check: reordered float32 GEMM reductions must
+        # stay within 1e-5 of the loop backend at realistic scales.
+        layer = Conv2D(64, 64, kernel_size=3, stride=1, padding=1, rng=0)
+        x = rng.random((2, 64, 16, 16)).astype(np.float32)
+        outs = {}
+        for backend in ANALOG_BACKENDS:
+            with analog_backend(backend):
+                outs[backend] = layer.forward(x)
+        assert np.abs(outs["loop"] - outs["strided"]).max() <= 1e-5
+
+    def test_training_cache_tracks_backend(self, rng):
+        # backward must consume the cache laid down by the matching forward
+        # even if the process default changed in between.
+        layer = self._float64_conv(3, 1, 1, True)
+        x = rng.random((1, 3, 6, 6))
+        grad = rng.random((1, 5, 6, 6))
+        with analog_backend("strided"):
+            layer.forward(x, training=True)
+        with analog_backend("loop"):
+            grad_in_strided_cache = layer.backward(grad)
+            out = layer.forward(x, training=True)
+            grad_in_loop_cache = layer.backward(grad)
+        assert out.shape == (1, 5, 6, 6)
+        assert np.allclose(grad_in_strided_cache, grad_in_loop_cache,
+                           rtol=1e-10, atol=1e-12)
+
+
+class TestPoolingEquivalence:
+    @pytest.mark.parametrize("pool_cls", [AvgPool2D, MaxPool2D])
+    @pytest.mark.parametrize("pool,stride", [(2, None), (3, 2), (2, 2)])
+    def test_forward_backward_identical(self, pool_cls, pool, stride, rng):
+        layer = pool_cls(pool, stride=stride)
+        x = rng.random((2, 3, 9, 9)).astype(np.float32)
+        results = {}
+        for backend in ANALOG_BACKENDS:
+            with analog_backend(backend):
+                out = layer.forward(x, training=True)
+                grad_in = layer.backward(np.ones_like(out))
+                results[backend] = (out, grad_in)
+        assert np.array_equal(results["loop"][0], results["strided"][0])
+        assert np.array_equal(results["loop"][1], results["strided"][1])
+
+
+class TestBackendSelection:
+    def test_default_is_strided(self):
+        assert resolve_analog_backend() == "strided"
+
+    def test_explicit_request_wins(self):
+        with analog_backend("strided"):
+            assert resolve_analog_backend("loop") == "loop"
+
+    def test_override_and_restore(self):
+        set_analog_backend("loop")
+        try:
+            assert resolve_analog_backend() == "loop"
+        finally:
+            set_analog_backend(None)
+        assert get_analog_backend() is None
+
+    def test_env_variable(self, monkeypatch):
+        monkeypatch.setenv(ANALOG_BACKEND_ENV, "loop")
+        assert resolve_analog_backend() == "loop"
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_analog_backend("simd")
+        with pytest.raises(ValueError):
+            set_analog_backend("fast")
+
+    def test_env_precedence_below_override(self, monkeypatch):
+        monkeypatch.setenv(ANALOG_BACKEND_ENV, "loop")
+        with analog_backend("strided"):
+            assert resolve_analog_backend() == "strided"
+        assert resolve_analog_backend() == "loop"
+
+
+class TestFusedBatchNorm:
+    @staticmethod
+    def _bn_model(rng_seed=0):
+        model = build_vgg("vgg_micro", input_shape=(3, 8, 8), num_classes=4,
+                          batch_norm=True, rng=rng_seed)
+        # Give the batch-norm layers non-trivial running statistics.
+        generator = np.random.default_rng(7)
+        for layer in model.layers:
+            if isinstance(layer, BatchNorm2D):
+                c = layer.num_features
+                layer.running_mean = generator.normal(0.1, 0.2, c).astype(np.float32)
+                layer.running_var = generator.uniform(0.5, 2.0, c).astype(np.float32)
+                layer.params["gamma"] = generator.uniform(0.8, 1.2, c).astype(np.float32)
+                layer.params["beta"] = generator.normal(0.0, 0.1, c).astype(np.float32)
+        return model
+
+    def test_fused_params_match_bn_transform(self, rng):
+        weight = rng.normal(0.0, 0.1, (4, 3, 3, 3)).astype(np.float32)
+        bias = rng.normal(0.0, 0.1, 4).astype(np.float32)
+        gamma = rng.uniform(0.5, 1.5, 4).astype(np.float32)
+        beta = rng.normal(0.0, 0.2, 4).astype(np.float32)
+        mean = rng.normal(0.0, 0.3, 4).astype(np.float32)
+        var = rng.uniform(0.5, 2.0, 4).astype(np.float32)
+        fused_w, fused_b = fused_batch_norm_params(
+            weight, bias, gamma, beta, mean, var, 1e-5
+        )
+        conv = Conv2D(3, 4, kernel_size=3, stride=1, padding=1, rng=0)
+        conv.params["weight"] = weight
+        conv.params["bias"] = bias
+        x = rng.random((2, 3, 6, 6)).astype(np.float32)
+        raw = conv.forward(x)
+        scale = gamma / np.sqrt(var + 1e-5)
+        expected = (raw - mean[None, :, None, None]) * scale[None, :, None, None] \
+            + beta[None, :, None, None]
+        conv.params["weight"] = fused_w
+        conv.params["bias"] = fused_b
+        fused = conv.forward(x)
+        assert np.allclose(fused, expected, atol=1e-5)
+
+    def test_dense_layout_supported(self, rng):
+        weight = rng.normal(0.0, 0.1, (6, 4)).astype(np.float32)
+        fused_w, fused_b = fused_batch_norm_params(
+            weight, None,
+            np.ones(4, np.float32), np.zeros(4, np.float32),
+            np.zeros(4, np.float32), np.ones(4, np.float32), 1e-5,
+        )
+        assert fused_w.shape == (6, 4)
+        assert fused_b.shape == (4,)
+
+    def test_unsupported_rank_rejected(self):
+        with pytest.raises(ValueError):
+            fused_batch_norm_params(
+                np.zeros((2, 2, 2)), None,
+                np.ones(2), np.zeros(2), np.zeros(2), np.ones(2), 1e-5,
+            )
+
+    def test_fused_vs_unfused_conversion(self, rng):
+        model = self._bn_model()
+        calibration = rng.random((16, 3, 8, 8)).astype(np.float32)
+        fused = convert_dnn_to_snn(model, calibration, fuse_batch_norm=True)
+        unfused = convert_dnn_to_snn(model, calibration, fuse_batch_norm=False)
+        assert fused.batch_norm_fused
+        assert not unfused.batch_norm_fused
+        # The unfused network keeps BatchNorm2D layers in its segments.
+        has_bn = any(
+            isinstance(layer, BatchNorm2D)
+            for segment in unfused.segments for layer in segment.layers
+        )
+        assert has_bn
+        x = rng.random((4, 3, 8, 8)).astype(np.float32)
+        logits_fused = fused.forward_analog(x)
+        logits_unfused = unfused.forward_analog(x)
+        assert np.allclose(logits_fused, logits_unfused, atol=1e-4)
+        scales_fused = np.asarray(fused.activation_scales())
+        scales_unfused = np.asarray(unfused.activation_scales())
+        assert np.allclose(scales_fused, scales_unfused, rtol=1e-3)
+
+    def test_compiled_segments_skip_inert_layers(self, rng):
+        from repro.nn.layers import Dropout, Identity
+
+        model = self._bn_model()
+        calibration = rng.random((8, 3, 8, 8)).astype(np.float32)
+        converted = convert_dnn_to_snn(model, calibration)
+        for segment in converted.segments:
+            compiled = segment.inference_layers()
+            assert not any(isinstance(l, (Identity, Dropout)) for l in compiled)
+        x = rng.random((2, 3, 8, 8)).astype(np.float32)
+        assert converted.forward_analog(x).shape == (2, 4)
+
+
+class TestBatchedReadout:
+    @staticmethod
+    def _simulator(readout_mode, num_steps=24):
+        w1 = np.array([[1.0, 0.5], [0.0, 1.0], [0.5, 0.0]])
+        w2 = np.array([[1.0, -0.5], [-1.0, 0.75]])
+        step_bias = np.array([0.01, -0.02]) / num_steps
+        from repro.snn.neurons import IFNeuron
+
+        layers = [
+            SimulatorLayer(transform=lambda psc: psc @ w1,
+                           neuron=IFNeuron(0.25), name="hidden"),
+            SimulatorLayer(transform=lambda psc: psc @ w2, neuron=None,
+                           name="readout", step_bias=step_bias),
+        ]
+        kernel = np.full(num_steps, 1.0 / num_steps)
+        hidden_kernel = np.full(num_steps, 0.25)
+        return TimeSteppedSimulator(layers, num_steps, kernel, hidden_kernel,
+                                    readout_mode=readout_mode)
+
+    def test_batched_matches_per_step(self, rng):
+        x = rng.random((3, 3))
+        from repro.coding import RateCoder
+
+        coder = RateCoder(num_steps=24)
+        train = coder.encode(x)
+        batched = self._simulator("batched").run(train)
+        per_step = self._simulator("per-step").run(train)
+        assert np.allclose(batched.output_potential, per_step.output_potential,
+                           rtol=1e-9, atol=1e-12)
+        assert batched.spike_counts == per_step.spike_counts
+
+    def test_invalid_mode_rejected(self):
+        layer = SimulatorLayer(transform=lambda x: x, neuron=None)
+        with pytest.raises(ValueError):
+            TimeSteppedSimulator([layer], 8, np.ones(8), readout_mode="fused")
+
+    def test_builder_falls_back_for_max_pool_readout(self, rng):
+        # Max pooling in the readout segment is non-linear: the builder must
+        # keep the exact per-step readout there (and batch everywhere else).
+        from repro.coding import RateCoder
+        from repro.core import build_time_stepped_simulator
+        from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, ReLU, Sequential
+
+        model = Sequential([
+            Conv2D(1, 2, kernel_size=3, stride=1, padding=1, rng=0),
+            ReLU(),
+            MaxPool2D(2),
+            Flatten(),
+            Dense(2 * 3 * 3, 4, rng=1),
+        ])
+        calibration = rng.random((8, 1, 6, 6)).astype(np.float32)
+        converted = convert_dnn_to_snn(model, calibration,
+                                       allow_max_pooling=True)
+        simulator = build_time_stepped_simulator(
+            converted, RateCoder(num_steps=16), batch_input_shape=(2, 1, 6, 6)
+        )
+        assert simulator.readout_mode == "per-step"
+
+        linear_model = Sequential([
+            Dense(4, 8, rng=0), ReLU(), Dense(8, 3, rng=1),
+        ])
+        flat_calibration = rng.random((8, 4)).astype(np.float32)
+        linear_converted = convert_dnn_to_snn(linear_model, flat_calibration)
+        linear_simulator = build_time_stepped_simulator(
+            linear_converted, RateCoder(num_steps=16), batch_input_shape=(2, 4)
+        )
+        assert linear_simulator.readout_mode == "batched"
+
+
+class TestTransportAcrossBackends:
+    def test_noisy_evaluation_agrees(self, converted_mlp, mnist_split):
+        from repro.coding import TTASCoder
+        from repro.core import ActivationTransportSimulator
+
+        x, y = mnist_split.test.x[:24], mnist_split.test.y[:24]
+        results = {}
+        for backend in ANALOG_BACKENDS:
+            simulator = ActivationTransportSimulator(
+                converted_mlp, TTASCoder(num_steps=32, target_duration=3),
+                analog_backend=backend,
+            )
+            results[backend] = simulator.evaluate(x, y, rng=0)
+        assert results["loop"].accuracy == results["strided"].accuracy
+        assert results["loop"].total_spikes == results["strided"].total_spikes
