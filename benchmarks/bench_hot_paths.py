@@ -13,7 +13,14 @@ so the performance trajectory is tracked across PRs (and gated by the CI
   ``loop`` vs ``strided`` analog backends at a VGG-ish shape
   (N=8, C=64, 32x32, k=3), plus an end-to-end conv->relu->pool->dense
   segment pass, with the max abs output difference recorded alongside the
-  speedup.
+  speedup,
+* **sweep orchestration** -- the fixed cost the execution engine adds per
+  sweep cell: dispatch overhead of the serial / thread / process executor
+  backends on no-op cells, and the result store's put / hit / miss cost.
+  These micro-latencies are scheduler-, fork- and filesystem-bound, which
+  the GEMM/memcpy machine calibration cannot normalise, so the regression
+  gate records them for trend tracking but does not judge them (see
+  ``_NON_TIMING_KEYS`` in ``check_bench_regression.py``).
 
 A small machine calibration (fixed-size GEMM + memcpy) is also recorded so
 the CI regression gate can normalise away absolute machine-speed differences.
@@ -65,6 +72,13 @@ JITTER_SIGMA = 1.5
 #: Shape of the analog conv benchmark (the ISSUE-2 acceptance shape):
 #: batch 8, 64 channels in/out, 32x32 feature maps, 3x3 kernel.
 ANALOG_SHAPE = {"batch": 8, "channels": 64, "size": 32, "kernel": 3}
+
+#: No-op cells per executor dispatch in the orchestration benchmark; large
+#: enough that per-cell overhead dominates one-off pool startup noise.
+DISPATCH_CELLS = 64
+
+#: Store operations per timing sample in the orchestration benchmark.
+STORE_OPS = 16
 
 
 def _time(fn: Callable[[], object], repeats: int) -> float:
@@ -198,6 +212,95 @@ def bench_analog_forward(repeats: int) -> Dict[str, Dict[str, float]]:
     return results
 
 
+def _noop_cell(index: int) -> int:
+    """Stand-in sweep cell; module-level so the process backend can pickle it."""
+    return index
+
+
+def bench_sweep_orchestration(repeats: int) -> Dict[str, Dict[str, float]]:
+    """Time the execution engine's fixed per-cell costs.
+
+    Dispatch overhead is measured with no-op cells, so the numbers are the
+    pure engine tax a real sweep cell pays on top of its numpy work:
+    submission + result collection per cell for the serial and thread
+    backends, plus pool startup + pickling for the process backend (workers
+    are forked per sweep, not kept warm).  Store costs cover writing a cell
+    document, re-reading it (hit) and probing an absent key (miss).
+    """
+    import shutil
+    import tempfile
+
+    from repro.core.pipeline import EvaluationResult
+    from repro.execution import (
+        ProcessExecutor,
+        ResultStore,
+        SerialExecutor,
+        ThreadExecutor,
+    )
+
+    cells = list(range(DISPATCH_CELLS))
+    executors = {
+        "serial": SerialExecutor(),
+        "thread": ThreadExecutor(max_workers=4),
+        "process": ProcessExecutor(max_workers=2),
+    }
+    dispatch: Dict[str, float] = {}
+    for name, executor in executors.items():
+        # map_unordered is the path the sweep engine actually dispatches on.
+        total = _time(
+            lambda: list(executor.map_unordered(_noop_cell, cells)), repeats
+        )
+        dispatch[name] = total / DISPATCH_CELLS
+
+    result = EvaluationResult(
+        accuracy=0.5, total_spikes=1000, spikes_per_sample=25.0, coding="ttas",
+        deletion=0.2, jitter=0.0, weight_scaling_factor=1.25, num_samples=40,
+    )
+    plan_note = {"bench": "sweep_orchestration"}
+    store_dir = tempfile.mkdtemp(prefix="repro-bench-store-")
+    counter = iter(range(10**9))
+
+    def run_puts():
+        store = ResultStore(store_dir)
+        base = next(counter)
+        for op in range(STORE_OPS):
+            store.put(f"{base:032x}{op:032x}", result, plan_note)
+
+    def run_hits():
+        store = ResultStore(store_dir)
+        for op in range(STORE_OPS):
+            assert store.get(f"{0:032x}{op:032x}") is not None
+
+    def run_misses():
+        store = ResultStore(store_dir)
+        for op in range(STORE_OPS):
+            assert store.get(f"{'f' * 32}{op:032x}") is None
+
+    try:
+        # Seed documents for the hit path (run_puts with base 0 fills them).
+        store_costs = {
+            "put": _time(run_puts, repeats) / STORE_OPS,
+            "get_hit": _time(run_hits, repeats) / STORE_OPS,
+            "get_miss": _time(run_misses, repeats) / STORE_OPS,
+        }
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+
+    results = {
+        "config": {"dispatch_cells": DISPATCH_CELLS, "store_ops": STORE_OPS},
+        "dispatch_per_cell": dispatch,
+        "store": store_costs,
+    }
+    print(f"\nsweep orchestration ({DISPATCH_CELLS} no-op cells, "
+          f"{STORE_OPS} store ops)")
+    print(f"  {'path':<26}{'per op':>12}")
+    for name, seconds in dispatch.items():
+        print(f"  {'dispatch[' + name + ']':<26}{seconds * 1e6:>10.1f}us")
+    for name, seconds in store_costs.items():
+        print(f"  {'store[' + name + ']':<26}{seconds * 1e6:>10.1f}us")
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--population", type=int, default=4096,
@@ -241,6 +344,7 @@ def main(argv=None) -> int:
     for name, coder in coders.items():
         report["results"][name] = bench_coder(name, coder, values, args.repeats)
     report["results"]["analog_forward"] = bench_analog_forward(args.repeats)
+    report["results"]["sweep_orchestration"] = bench_sweep_orchestration(args.repeats)
 
     chain_speedups = {
         name: result["speedup_dense_over_events"]["delete_jitter_decode"]

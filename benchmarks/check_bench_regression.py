@@ -41,8 +41,14 @@ TOLERANCE_ENV = "REPRO_BENCH_TOLERANCE"
 #: Default regression tolerance: fail on >1.5x slowdown of any hot path.
 DEFAULT_TOLERANCE = 1.5
 
-#: Subtrees/keys under ``results`` that are not timings.
-_NON_TIMING_KEYS = ("config", "sparsity", "max_abs_diff")
+#: Subtrees/keys under ``results`` that are not timings -- or are timings
+#: the gate must not judge: the sweep-orchestration numbers
+#: ("dispatch_per_cell", "store") are scheduler-, fork- and
+#: filesystem-bound micro-latencies, and the GEMM/memcpy machine
+#: calibration tracks CPU speed only, so gating them would flag runner
+#: differences as code regressions.  They stay in the report for trend
+#: tracking.
+_NON_TIMING_KEYS = ("config", "sparsity", "max_abs_diff", "dispatch_per_cell", "store")
 
 
 def iter_timings(results: Dict, prefix: str = "") -> Iterator[Tuple[str, float]]:

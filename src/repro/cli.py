@@ -10,6 +10,13 @@ Three subcommands cover the common workflows::
 ``figure`` and ``table`` regenerate a paper figure/table and print the series
 (the same text the benchmarks write to ``reports/``); ``evaluate`` runs a
 single noise condition through the end-to-end pipeline.
+
+Sweep execution is controlled by ``--executor`` (serial / thread / process;
+also via ``REPRO_SWEEP_EXECUTOR``), ``--max-workers`` and the optional
+``--result-store DIR`` (also via ``REPRO_RESULT_STORE``), which caches every
+evaluated (dataset, method, level) cell on disk so interrupted sweeps resume
+and re-runs are incremental.  ``--spike-backend``, ``--analog-backend`` and
+``--batch-size`` select the evaluation backends for all three subcommands.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from repro.experiments import (
     table1_deletion,
     table2_jitter,
 )
+from repro.execution.executors import EXECUTOR_NAMES
 from repro.experiments.config import BENCH_SCALE, TEST_SCALE, ExperimentScale
 from repro.experiments.workloads import prepare_workload
 from repro.core.pipeline import NoiseRobustSNN
@@ -55,6 +63,36 @@ def _scale_from_name(name: str) -> ExperimentScale:
     return {"bench": BENCH_SCALE, "test": TEST_SCALE}[name]
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """Backend/batch knobs shared by every subcommand."""
+    parser.add_argument("--spike-backend", choices=SPIKE_BACKENDS, default=None,
+                        help="force the spike-train representation "
+                             "(default: the coder's preference, overridable "
+                             "via REPRO_SPIKE_BACKEND)")
+    parser.add_argument("--analog-backend", choices=ANALOG_BACKENDS, default=None,
+                        help="force the analog im2col/conv engine for the "
+                             "segment forward passes (default: strided, "
+                             "overridable via REPRO_ANALOG_BACKEND)")
+    parser.add_argument("--batch-size", type=int, default=None,
+                        help="transport-evaluation batch size (default: 16)")
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Sweep execution knobs shared by the figure and table subcommands."""
+    parser.add_argument("--max-workers", type=int, default=None,
+                        help="parallel (method x level) sweep cells; "
+                             "0 = one worker per CPU (default: serial)")
+    parser.add_argument("--executor", choices=EXECUTOR_NAMES, default=None,
+                        help="sweep executor backend (default: "
+                             "REPRO_SWEEP_EXECUTOR, else thread when "
+                             "--max-workers > 1, else serial); results are "
+                             "bit-identical across backends")
+    parser.add_argument("--result-store", default=None, metavar="DIR",
+                        help="content-addressed on-disk cell cache; resumes "
+                             "interrupted sweeps and skips already evaluated "
+                             "cells (default: REPRO_RESULT_STORE, else off)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -69,9 +107,8 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--scale", choices=("bench", "test"), default="bench")
     figure.add_argument("--eval-size", type=int, default=None)
     figure.add_argument("--seed", type=int, default=0)
-    figure.add_argument("--max-workers", type=int, default=None,
-                        help="parallel (method x level) sweep cells; "
-                             "0 = one worker per CPU (default: serial)")
+    _add_execution_arguments(figure)
+    _add_backend_arguments(figure)
 
     table = sub.add_parser("table", help="regenerate Table I or II")
     table.add_argument("--name", choices=sorted(_TABLES), required=True)
@@ -79,9 +116,8 @@ def build_parser() -> argparse.ArgumentParser:
     table.add_argument("--scale", choices=("bench", "test"), default="bench")
     table.add_argument("--eval-size", type=int, default=None)
     table.add_argument("--seed", type=int, default=0)
-    table.add_argument("--max-workers", type=int, default=None,
-                       help="parallel (method x level) sweep cells; "
-                            "0 = one worker per CPU (default: serial)")
+    _add_execution_arguments(table)
+    _add_backend_arguments(table)
 
     evaluate = sub.add_parser("evaluate", help="evaluate one coding/noise condition")
     evaluate.add_argument("--dataset", default="cifar10")
@@ -95,14 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--scale", choices=("bench", "test"), default="bench")
     evaluate.add_argument("--eval-size", type=int, default=None)
     evaluate.add_argument("--seed", type=int, default=0)
-    evaluate.add_argument("--spike-backend", choices=SPIKE_BACKENDS, default=None,
-                          help="force the spike-train representation "
-                               "(default: the coder's preference, overridable "
-                               "via REPRO_SPIKE_BACKEND)")
-    evaluate.add_argument("--analog-backend", choices=ANALOG_BACKENDS, default=None,
-                          help="force the analog im2col/conv engine for the "
-                               "segment forward passes (default: strided, "
-                               "overridable via REPRO_ANALOG_BACKEND)")
+    _add_backend_arguments(evaluate)
     return parser
 
 
@@ -110,7 +139,9 @@ def _run_figure(args: argparse.Namespace) -> str:
     scale = _scale_from_name(args.scale)
     result = _FIGURES[args.name](
         dataset=args.dataset, scale=scale, seed=args.seed, eval_size=args.eval_size,
-        max_workers=args.max_workers,
+        max_workers=args.max_workers, executor=args.executor,
+        store=args.result_store, spike_backend=args.spike_backend,
+        analog_backend=args.analog_backend, batch_size=args.batch_size,
     )
     return format_figure_series(result, f"{args.name} ({args.dataset})")
 
@@ -120,6 +151,9 @@ def _run_table(args: argparse.Namespace) -> str:
     result = _TABLES[args.name](
         datasets=tuple(args.datasets), scale=scale, seed=args.seed,
         eval_size=args.eval_size, max_workers=args.max_workers,
+        executor=args.executor, store=args.result_store,
+        spike_backend=args.spike_backend, analog_backend=args.analog_backend,
+        batch_size=args.batch_size,
     )
     return format_table_rows(result, args.name)
 
@@ -141,7 +175,9 @@ def _run_evaluate(args: argparse.Namespace) -> str:
     )
     x, y = workload.evaluation_slice(args.eval_size)
     result = pipeline.evaluate(
-        x, y, deletion=args.deletion, jitter=args.jitter, rng=args.seed
+        x, y, deletion=args.deletion, jitter=args.jitter,
+        batch_size=args.batch_size if args.batch_size is not None else 16,
+        rng=args.seed,
     )
     lines = [
         f"dataset            : {args.dataset} ({scale.name} scale)",

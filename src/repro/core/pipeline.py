@@ -17,19 +17,22 @@ retraining.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.coding.base import NeuralCoder
 from repro.coding.registry import create_coder
 from repro.conversion.converter import ConvertedSNN, convert_dnn_to_snn
-from repro.core.transport import ActivationTransportSimulator, TransportResult
+from repro.core.transport import TransportResult, evaluate_transport
 from repro.core.weight_scaling import WeightScaling
 from repro.nn.model import Sequential
 from repro.noise.injector import NoiseInjector
 from repro.utils.rng import RngLike
 from repro.utils.validation import check_non_negative, check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (execution -> pipeline)
+    from repro.execution.plan import EvaluationPlan
 
 
 @dataclass
@@ -62,7 +65,7 @@ class EvaluationResult:
     num_samples: int
 
     def as_dict(self) -> Dict[str, float]:
-        """Plain-dictionary view used by the experiment reporting code."""
+        """Plain-dictionary view used by reporting and the result store."""
         return {
             "accuracy": self.accuracy,
             "total_spikes": self.total_spikes,
@@ -73,6 +76,25 @@ class EvaluationResult:
             "weight_scaling_factor": self.weight_scaling_factor,
             "num_samples": self.num_samples,
         }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "EvaluationResult":
+        """Rebuild a result from :meth:`as_dict` output (JSON round-trip).
+
+        ``float``/``int`` coercions restore the exact dataclass field types,
+        so a result loaded from the on-disk store compares equal -- bit for
+        bit -- to the freshly evaluated one it was saved from.
+        """
+        return cls(
+            accuracy=float(payload["accuracy"]),
+            total_spikes=int(payload["total_spikes"]),
+            spikes_per_sample=float(payload["spikes_per_sample"]),
+            coding=str(payload["coding"]),
+            deletion=float(payload["deletion"]),
+            jitter=float(payload["jitter"]),
+            weight_scaling_factor=float(payload["weight_scaling_factor"]),
+            num_samples=int(payload["num_samples"]),
+        )
 
 
 class NoiseRobustSNN:
@@ -171,6 +193,25 @@ class NoiseRobustSNN:
             analog_backend=analog_backend,
         )
 
+    @classmethod
+    def from_plan(cls, plan: "EvaluationPlan", network: ConvertedSNN) -> "NoiseRobustSNN":
+        """Build the pipeline of one sweep cell from its declarative plan.
+
+        The plan carries the coder / weight-scaling / backend configuration
+        by value; only the converted network -- resolved from the plan's
+        workload reference by the execution engine -- is a live object.
+        """
+        return cls(
+            network=network,
+            coding=plan.method.coding,
+            num_steps=plan.num_steps,
+            weight_scaling=plan.method.weight_scaling,
+            scaling_mode=plan.scaling_mode,
+            coder_kwargs=plan.method.coder_kwargs(),
+            spike_backend=plan.spike_backend,
+            analog_backend=plan.analog_backend,
+        )
+
     # -- helpers -----------------------------------------------------------------
     def make_coder(self) -> NeuralCoder:
         """Instantiate the configured coder."""
@@ -224,17 +265,18 @@ class NoiseRobustSNN:
         )
         scaling = self.make_weight_scaling()
         assumed = deletion if expected_deletion is None else expected_deletion
-        simulator = ActivationTransportSimulator(
+        result: TransportResult = evaluate_transport(
             network=self.network,
             coder=coder,
+            x=x,
+            labels=labels,
             noise=noise,
             weight_scaling=scaling,
             expected_deletion=assumed,
             spike_backend=self.spike_backend,
             analog_backend=self.analog_backend,
-        )
-        result: TransportResult = simulator.evaluate(
-            x, labels, batch_size=batch_size, rng=rng
+            batch_size=batch_size,
+            rng=rng,
         )
         return EvaluationResult(
             accuracy=result.accuracy,
@@ -243,7 +285,7 @@ class NoiseRobustSNN:
             coding=self.coding,
             deletion=float(deletion),
             jitter=float(jitter),
-            weight_scaling_factor=simulator.scale_factor,
+            weight_scaling_factor=scaling.factor(assumed),
             num_samples=result.num_samples,
         )
 

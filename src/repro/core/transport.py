@@ -15,6 +15,12 @@ This models precisely the quantity the paper reasons about -- the activation
 staying fast enough to sweep whole figures on one CPU core.  Its fidelity
 against the step-by-step membrane simulation is checked in
 ``tests/test_snn_simulator_timestep.py``.
+
+Two entry points are provided: the :class:`ActivationTransportSimulator`
+class for callers that evaluate one configuration repeatedly, and the pure
+function :func:`evaluate_transport` -- everything passed explicitly, nothing
+closure-captured -- which is what the plan-execution engine
+(:mod:`repro.execution`) runs inside worker processes.
 """
 
 from __future__ import annotations
@@ -214,3 +220,41 @@ class ActivationTransportSimulator:
             num_samples=num_samples,
             logits=np.concatenate(all_logits, axis=0) if all_logits else None,
         )
+
+
+def evaluate_transport(
+    network: ConvertedSNN,
+    coder: NeuralCoder,
+    x: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    noise: Optional[SpikeNoise] = None,
+    weight_scaling: Optional[WeightScaling] = None,
+    expected_deletion: float = 0.0,
+    encode_input: bool = True,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: int = 16,
+    rng: RngLike = None,
+    keep_logits: bool = False,
+) -> TransportResult:
+    """Evaluate a converted network under a coder + noise model, purely.
+
+    A function-shaped façade over :class:`ActivationTransportSimulator`:
+    every input is an explicit argument and the return value depends on
+    nothing else, which is what lets the execution engine run one sweep cell
+    per worker from a declarative plan instead of shipping closure-captured
+    simulator objects across threads or processes.
+    """
+    simulator = ActivationTransportSimulator(
+        network=network,
+        coder=coder,
+        noise=noise,
+        weight_scaling=weight_scaling,
+        expected_deletion=expected_deletion,
+        encode_input=encode_input,
+        spike_backend=spike_backend,
+        analog_backend=analog_backend,
+    )
+    return simulator.evaluate(
+        x, labels, batch_size=batch_size, rng=rng, keep_logits=keep_logits
+    )

@@ -1,0 +1,78 @@
+"""Compiled evaluation plans, pluggable executors and the result store.
+
+The execution subsystem turns one sweep cell -- a (dataset, method, noise
+level) point of a figure or table -- into a declarative, picklable
+:class:`~repro.execution.plan.EvaluationPlan` evaluated by a pure function,
+and runs batches of plans through a pluggable :class:`Executor` backend
+(serial / thread / process) with an optional content-addressed on-disk
+:class:`ResultStore` for resumable, incremental sweeps.
+
+* :mod:`repro.execution.plan`      -- plans, workload references, fingerprints,
+* :mod:`repro.execution.executors` -- the executor protocol and backends,
+* :mod:`repro.execution.store`     -- the content-addressed result store,
+* :mod:`repro.execution.engine`    -- the evaluate_plans orchestration core.
+"""
+
+from repro.execution.engine import (
+    CellEvaluationError,
+    ExecutionStats,
+    PlanEvaluation,
+    evaluate_plans,
+    execute_cell,
+    network_hash_for,
+    register_workload,
+    workload_for,
+)
+from repro.execution.executors import (
+    EXECUTOR_NAMES,
+    SWEEP_EXECUTOR_ENV,
+    SWEEP_WORKERS_ENV,
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    resolve_executor,
+    resolve_worker_count,
+)
+from repro.execution.plan import (
+    EvaluationPlan,
+    WorkloadRef,
+    build_sweep_plans,
+    evaluate_plan,
+    network_fingerprint,
+)
+from repro.execution.store import (
+    RESULT_STORE_ENV,
+    ResultStore,
+    StoreStats,
+    resolve_store,
+)
+
+__all__ = [
+    "EvaluationPlan",
+    "WorkloadRef",
+    "build_sweep_plans",
+    "evaluate_plan",
+    "network_fingerprint",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "resolve_executor",
+    "resolve_worker_count",
+    "EXECUTOR_NAMES",
+    "SWEEP_EXECUTOR_ENV",
+    "SWEEP_WORKERS_ENV",
+    "ResultStore",
+    "StoreStats",
+    "resolve_store",
+    "RESULT_STORE_ENV",
+    "CellEvaluationError",
+    "ExecutionStats",
+    "PlanEvaluation",
+    "evaluate_plans",
+    "execute_cell",
+    "register_workload",
+    "workload_for",
+    "network_hash_for",
+]

@@ -1,0 +1,310 @@
+"""The plan-evaluation engine: executors x result store x workload registry.
+
+:func:`evaluate_plans` is the single entry point every sweep (figures,
+tables, benchmarks, CLI) funnels through.  Given a list of
+:class:`~repro.execution.plan.EvaluationPlan` cells it
+
+1. resolves each plan's workload (preparing and memoising it per process),
+2. computes the plan fingerprints and serves store hits without evaluating,
+3. fans the remaining cells out over the selected executor backend,
+4. persists each freshly evaluated cell to the store *as it completes*, so
+   an interrupted run resumes from the cells already done,
+5. returns the results in plan order together with execution statistics.
+
+Worker processes do not share the parent's memory (unless forked): the
+module-level :func:`execute_cell` rebuilds workloads from the plans'
+workload references on first use and memoises them per process, so a
+process evaluating many cells of one dataset prepares it once.  On
+fork-based platforms (Linux) the children inherit the parent's registry and
+skip even that.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+
+from repro.core.pipeline import EvaluationResult
+from repro.execution.executors import Executor, resolve_executor
+from repro.execution.plan import (
+    EvaluationPlan,
+    WorkloadRef,
+    evaluate_plan,
+    network_fingerprint,
+)
+from repro.execution.store import ResultStore, resolve_store
+from repro.utils.logging import get_logger
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (experiments -> execution)
+    from repro.experiments.workloads import PreparedWorkload
+
+logger = get_logger("execution.engine")
+
+#: Per-process registry of prepared workloads, keyed by workload reference.
+#: Seeded by the parent before dispatch; inherited by forked workers; filled
+#: on demand (from the on-disk weight cache, or by retraining -- both
+#: deterministic) everywhere else.  Bounded: long-lived sessions sweeping
+#: many (dataset, scale, seed) combinations evict the oldest entries instead
+#: of growing without limit (re-preparation is deterministic and cached on
+#: disk, so eviction only costs time, never correctness).
+_WORKLOAD_REGISTRY: Dict[WorkloadRef, "PreparedWorkload"] = {}
+
+#: Maximum workloads kept in the per-process registry.
+WORKLOAD_REGISTRY_LIMIT = 8
+
+#: Workloads of the batch currently inside :func:`evaluate_plans`.  Unlike
+#: the bounded registry this mapping is exact for the batch's lifetime, so a
+#: batch spanning more than ``WORKLOAD_REGISTRY_LIMIT`` distinct workloads
+#: never evicts-and-re-prepares its own members; forked process workers
+#: inherit it because the pool is created after it is populated.
+_BATCH_WORKLOADS: Dict[WorkloadRef, "PreparedWorkload"] = {}
+
+#: Cached network fingerprints, keyed by workload reference (hashing the
+#: trained weights is cheap but not free; once per workload is enough).
+_NETWORK_HASHES: Dict[WorkloadRef, str] = {}
+
+#: Guards the registry/hash caches: thread-executor workers resolve
+#: workloads concurrently, and preparation must happen at most once per
+#: reference (an RLock because register_workload runs inside workload_for).
+_REGISTRY_LOCK = threading.RLock()
+
+
+class CellEvaluationError(RuntimeError):
+    """A sweep cell failed; carries the cell identity across workers.
+
+    A bare exception surfacing out of a worker pool gives no clue *which*
+    (dataset, method, level) cell died.  This wrapper names the cell and the
+    original error, and -- because it reconstructs from positional ``args``
+    -- survives pickling across process boundaries intact.
+    """
+
+    def __init__(self, dataset: str, method: str, noise_kind: str,
+                 level: float, cause: str):
+        super().__init__(dataset, method, noise_kind, level, cause)
+        self.dataset = dataset
+        self.method = method
+        self.noise_kind = noise_kind
+        self.level = level
+        self.cause = cause
+
+    def __str__(self) -> str:
+        return (
+            f"sweep cell {self.dataset}/{self.method} "
+            f"{self.noise_kind}={self.level:g} failed: {self.cause}"
+        )
+
+
+@dataclass
+class ExecutionStats:
+    """What one :func:`evaluate_plans` call actually did."""
+
+    executor: str
+    total_cells: int = 0
+    evaluated_cells: int = 0
+    store_hits: int = 0
+    store_writes: int = 0
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        return {
+            "executor": self.executor,
+            "total_cells": self.total_cells,
+            "evaluated_cells": self.evaluated_cells,
+            "store_hits": self.store_hits,
+            "store_writes": self.store_writes,
+        }
+
+
+@dataclass
+class PlanEvaluation:
+    """Results of a batch of plans, in plan order, plus statistics."""
+
+    results: List[EvaluationResult]
+    stats: ExecutionStats = field(default_factory=lambda: ExecutionStats("serial"))
+
+
+def register_workload(ref: WorkloadRef, workload: "PreparedWorkload") -> None:
+    """Seed the process-local registry with an already prepared workload.
+
+    Re-registering an existing reference refreshes its recency; when the
+    registry is full the least recently registered workload is evicted.
+    """
+    with _REGISTRY_LOCK:
+        _WORKLOAD_REGISTRY.pop(ref, None)
+        _WORKLOAD_REGISTRY[ref] = workload
+        _NETWORK_HASHES.pop(ref, None)
+        while len(_WORKLOAD_REGISTRY) > WORKLOAD_REGISTRY_LIMIT:
+            evicted = next(iter(_WORKLOAD_REGISTRY))
+            del _WORKLOAD_REGISTRY[evicted]
+            _NETWORK_HASHES.pop(evicted, None)
+
+
+def workload_for(ref: WorkloadRef) -> "PreparedWorkload":
+    """Resolve a workload reference, preparing and memoising on first use."""
+    # Imported here, not at module scope: repro.experiments is built on top
+    # of this engine, so the dependency must stay one-way at import time.
+    from repro.experiments.workloads import prepare_workload
+
+    workload = _BATCH_WORKLOADS.get(ref)
+    if workload is not None:
+        return workload
+    with _REGISTRY_LOCK:
+        # Double-checked under the lock: concurrent thread workers must
+        # prepare a missing workload exactly once, not once per thread.
+        workload = _WORKLOAD_REGISTRY.get(ref)
+        if workload is None:
+            logger.info(
+                "preparing workload %s/%s (seed %d) in process",
+                ref.dataset, ref.scale.name, ref.seed,
+            )
+            workload = prepare_workload(
+                ref.dataset,
+                scale=ref.scale,
+                seed=ref.seed,
+                cache_dir=ref.cache_dir,
+                use_cache=ref.use_cache,
+            )
+            register_workload(ref, workload)
+    return workload
+
+
+def network_hash_for(ref: WorkloadRef) -> str:
+    """Fingerprint of the converted network behind a workload reference."""
+    with _REGISTRY_LOCK:
+        cached = _NETWORK_HASHES.get(ref)
+        if cached is None:
+            cached = network_fingerprint(workload_for(ref))
+            _NETWORK_HASHES[ref] = cached
+            while len(_NETWORK_HASHES) > 4 * WORKLOAD_REGISTRY_LIMIT:
+                del _NETWORK_HASHES[next(iter(_NETWORK_HASHES))]
+    return cached
+
+
+def execute_cell(plan: EvaluationPlan) -> EvaluationResult:
+    """Evaluate one plan in the current process (the executor work item).
+
+    Module-level (hence picklable by reference) so the process backend can
+    ship it; failures are re-raised as :class:`CellEvaluationError` carrying
+    the cell identity, which survives the trip back through the pool.
+    """
+    try:
+        workload = workload_for(plan.workload)
+        result = evaluate_plan(plan, workload)
+    except CellEvaluationError:
+        raise
+    except Exception as error:
+        raise CellEvaluationError(
+            plan.dataset, plan.method_label, plan.noise_kind, float(plan.level),
+            f"{type(error).__name__}: {error}",
+        ) from error
+    logger.info(
+        "%s | %s %s=%.2f -> acc=%.3f spikes/sample=%.0f",
+        plan.dataset, plan.method_label, plan.noise_kind, plan.level,
+        result.accuracy, result.spikes_per_sample,
+    )
+    return result
+
+
+def evaluate_plans(
+    plans: Sequence[EvaluationPlan],
+    executor: Union[str, Executor, None] = None,
+    max_workers: Optional[int] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    workloads: Optional[Dict[WorkloadRef, "PreparedWorkload"]] = None,
+) -> PlanEvaluation:
+    """Evaluate a batch of plans through the executor + store machinery.
+
+    Parameters
+    ----------
+    plans:
+        The cells to evaluate; results come back in the same order.
+    executor:
+        Executor instance, backend name, or ``None`` for the
+        ``REPRO_SWEEP_EXECUTOR`` / ``max_workers`` defaults (see
+        :func:`repro.execution.executors.resolve_executor`).
+    max_workers:
+        Worker count for the pooled backends.
+    store:
+        Result store (instance, directory path, ``None`` = honour
+        ``$REPRO_RESULT_STORE``, ``False`` = force off).  Cells whose
+        fingerprint is already stored are served from disk without being
+        evaluated; fresh results are persisted as they complete.
+    workloads:
+        Already prepared workloads for (some of) the plans' references,
+        pinned for the duration of this call -- exact regardless of the
+        bounded registry, so arbitrarily large batches never re-prepare
+        workloads the caller is still holding.
+    """
+    plans = list(plans)
+    backend = resolve_executor(executor, max_workers)
+    result_store = resolve_store(store)
+    stats = ExecutionStats(executor=backend.name, total_cells=len(plans))
+    results: List[Optional[EvaluationResult]] = [None] * len(plans)
+
+    pinned = dict(workloads or {})
+    _BATCH_WORKLOADS.update(pinned)
+    try:
+        pending: List[int] = []
+        fingerprints: Dict[int, str] = {}
+        if result_store is not None:
+            for index, plan in enumerate(plans):
+                fingerprint = plan.fingerprint(network_hash_for(plan.workload))
+                fingerprints[index] = fingerprint
+                cached = result_store.get(fingerprint)
+                if cached is not None:
+                    results[index] = cached
+                    stats.store_hits += 1
+                else:
+                    pending.append(index)
+            if stats.store_hits:
+                logger.info(
+                    "result store: %d/%d cells served from %s",
+                    stats.store_hits, len(plans), result_store.root,
+                )
+        else:
+            pending = list(range(len(plans)))
+
+        if pending:
+            # Completion order, not submission order: each finished cell is
+            # persisted the moment it exists, so a run killed while a slow
+            # cell is in flight never loses faster cells that already
+            # finished.
+            evaluated = backend.map_unordered(
+                execute_cell, [plans[i] for i in pending]
+            )
+            for position, result in evaluated:
+                index = pending[position]
+                results[index] = result
+                stats.evaluated_cells += 1
+                if result_store is not None and _store_result(
+                    result_store, fingerprints[index], result, plans[index]
+                ):
+                    stats.store_writes += 1
+    finally:
+        for ref in pinned:
+            _BATCH_WORKLOADS.pop(ref, None)
+    return PlanEvaluation(results=list(results), stats=stats)
+
+
+def _store_result(
+    result_store: ResultStore,
+    fingerprint: str,
+    result: EvaluationResult,
+    plan: EvaluationPlan,
+) -> bool:
+    """Persist one cell; an unwritable store degrades to a warning.
+
+    The store is an accelerator, never a correctness dependency: a full
+    disk or read-only mount must not abort a sweep whose results already
+    exist in memory (the read path likewise degrades unreadable documents
+    to misses).
+    """
+    try:
+        result_store.put(fingerprint, result, plan.describe())
+        return True
+    except OSError as error:
+        logger.warning(
+            "result store write failed for %s (%s); continuing without "
+            "persisting this cell", plan.cell_id(), error,
+        )
+        return False

@@ -1,0 +1,223 @@
+"""Pluggable executor backends for sweep-cell evaluation.
+
+An :class:`Executor` maps a picklable function over a sequence of items and
+yields the results *in submission order*.  Three backends are provided:
+
+* :class:`SerialExecutor`  -- plain in-process loop (the reference),
+* :class:`ThreadExecutor`  -- thread pool; the numpy hot paths release the
+  GIL, so this scales on multi-core machines without pickling anything,
+* :class:`ProcessExecutor` -- process pool; sidesteps the GIL entirely and
+  shards cells (and whole datasets, for tables) across worker processes.
+  Requires the mapped function and items to be picklable, which is exactly
+  what :class:`repro.execution.plan.EvaluationPlan` guarantees.
+
+Because every sweep cell derives its RNG stream from the plan alone, all
+three backends produce bit-identical results; the choice is purely a
+throughput/latency decision.  Select one explicitly with the ``--executor``
+CLI flag, the ``REPRO_SWEEP_EXECUTOR`` environment variable, or the
+``executor=`` argument of :func:`repro.experiments.runner.run_noise_sweep`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from typing import Callable, Iterator, Optional, Sequence, Tuple, TypeVar, Union
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable selecting the default executor backend.
+SWEEP_EXECUTOR_ENV = "REPRO_SWEEP_EXECUTOR"
+
+#: Environment variable providing the default worker count for sweeps.
+SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Names accepted by :func:`resolve_executor`.
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+def resolve_worker_count(max_workers: Optional[int] = None) -> int:
+    """Resolve a worker count for the pooled executors.
+
+    ``None`` falls back to the ``REPRO_SWEEP_WORKERS`` environment variable
+    (default 1, i.e. serial); 0 or a negative value means "one worker per
+    CPU".  Explicit values are honoured as given -- note that the sweep is
+    CPU-bound numpy, so more workers than physical cores oversubscribes and
+    can *slow the sweep down*; prefer 0 over guessing a count.
+    """
+    if max_workers is None:
+        env = os.environ.get(SWEEP_WORKERS_ENV, "").strip()
+        try:
+            max_workers = int(env) if env else 1
+        except ValueError:
+            raise ValueError(
+                f"{SWEEP_WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    max_workers = int(max_workers)
+    if max_workers <= 0:
+        max_workers = os.cpu_count() or 1
+    return max_workers
+
+
+class Executor:
+    """Protocol for sweep executors: map with bounded parallelism.
+
+    Subclasses must override at least one of :meth:`map` /
+    :meth:`map_unordered`; each default is implemented in terms of the
+    other (serial backends naturally provide ``map``, pooled backends
+    provide completion-ordered ``map_unordered``).
+    """
+
+    #: Backend name ("serial", "thread", "process").
+    name: str = "abstract"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        """Yield ``fn(item)`` for every item, in the order given.
+
+        Default: a reorder buffer over :meth:`map_unordered`.
+        """
+        buffered = {}
+        next_index = 0
+        for index, result in self.map_unordered(fn, items):
+            buffered[index] = result
+            while next_index in buffered:
+                yield buffered.pop(next_index)
+                next_index += 1
+
+    def map_unordered(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> Iterator[Tuple[int, R]]:
+        """Yield ``(index, fn(item))`` pairs *as items complete*.
+
+        This is the API the engine consumes: results are handed back the
+        moment they exist (not head-of-line blocked behind slower items), so
+        every finished cell can be persisted to the result store immediately
+        and an interrupted run never loses completed work.  The default
+        wraps :meth:`map`; the pooled backends override it with true
+        completion order.
+        """
+        for index, result in enumerate(self.map(fn, items)):
+            yield index, result
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialExecutor(Executor):
+    """Evaluate cells one after the other in the calling thread."""
+
+    name = "serial"
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
+        for item in items:
+            yield fn(item)
+
+
+class _PoolExecutor(Executor):
+    """Shared submit/collect logic of the thread and process backends."""
+
+    def __init__(self, max_workers: Optional[int] = None):
+        self.max_workers = resolve_worker_count(max_workers)
+
+    def _make_pool(self, workers: int):
+        raise NotImplementedError
+
+    def map_unordered(
+        self, fn: Callable[[T], R], items: Sequence[T]
+    ) -> Iterator[Tuple[int, R]]:
+        items = list(items)
+        if not items:
+            return
+        workers = min(self.max_workers, len(items))
+        if workers <= 1 and self.name == "thread":
+            # A one-thread pool is pure overhead; degrade to the serial path.
+            yield from SerialExecutor().map_unordered(fn, items)
+            return
+        pool = self._make_pool(workers)
+        indices = {}
+        try:
+            for index, item in enumerate(items):
+                indices[pool.submit(fn, item)] = index
+            for future in as_completed(indices):
+                yield indices[future], future.result()
+        finally:
+            # Abandon queued work on error/interrupt so the generator's
+            # close does not block behind cells nobody will consume.
+            for future in indices:
+                future.cancel()
+            pool.shutdown(wait=True)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(max_workers={self.max_workers})"
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Evaluate cells on a thread pool (today's PR-1 behaviour, extracted).
+
+    The numpy encode/noise/GEMM hot paths release the GIL, so threads scale
+    on real cores while sharing the prepared workloads without any
+    serialisation cost.
+    """
+
+    name = "thread"
+
+    def _make_pool(self, workers: int):
+        return ThreadPoolExecutor(max_workers=workers)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Evaluate cells on a process pool.
+
+    Workers rebuild (or, on fork-based platforms, inherit) the prepared
+    workloads from the plans' workload references, memoised per process --
+    see :mod:`repro.execution.engine`.  Results are bit-identical to the
+    serial path because every cell's RNG derives from its plan alone.
+    """
+
+    name = "process"
+
+    def _make_pool(self, workers: int):
+        return ProcessPoolExecutor(max_workers=workers)
+
+
+def resolve_executor(
+    executor: Union[str, Executor, None] = None,
+    max_workers: Optional[int] = None,
+) -> Executor:
+    """Resolve an executor selection into a backend instance.
+
+    Parameters
+    ----------
+    executor:
+        A ready :class:`Executor` (returned unchanged), a backend name
+        ("serial", "thread", "process"), or ``None`` to fall back to the
+        ``REPRO_SWEEP_EXECUTOR`` environment variable.  When neither is set
+        the worker count decides: >1 workers selects the thread backend
+        (the pre-existing ``max_workers`` behaviour), otherwise serial.
+    max_workers:
+        Worker count for the pooled backends; see
+        :func:`resolve_worker_count` for the ``None``/0 conventions.
+    """
+    if isinstance(executor, Executor):
+        return executor
+    name = executor
+    if name is None:
+        name = os.environ.get(SWEEP_EXECUTOR_ENV, "").strip().lower() or None
+    if name is None:
+        return (
+            ThreadExecutor(max_workers)
+            if resolve_worker_count(max_workers) > 1
+            else SerialExecutor()
+        )
+    name = str(name).strip().lower()
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadExecutor(max_workers)
+    if name == "process":
+        return ProcessExecutor(max_workers)
+    raise ValueError(
+        f"unknown executor {executor!r}; choose from {EXECUTOR_NAMES} "
+        f"(or set {SWEEP_EXECUTOR_ENV})"
+    )

@@ -1,0 +1,275 @@
+"""Declarative evaluation plans.
+
+One sweep cell -- a (dataset, method, noise level) point of a figure or
+table -- is described by an :class:`EvaluationPlan`: a small, frozen,
+*picklable* value object holding a workload reference, the coder / noise /
+weight-scaling configuration, the spike/analog backend selections and the
+derived RNG spec.  A plan contains no live objects (no networks, coders or
+generators), so it can cross process boundaries, be hashed into a stable
+fingerprint for the on-disk result store, and be evaluated by the pure
+function :func:`evaluate_plan` on any worker with bit-identical results.
+
+The RNG contract is the one the parallel sweep engine has relied on since
+PR 1: the noise stream of a cell derives from ``(seed, "noise", method
+label, level)`` alone (see :meth:`EvaluationPlan.noise_rng`), which makes
+the realisation independent of which executor, worker or ordering evaluates
+the cell.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pipeline import EvaluationResult, NoiseRobustSNN
+from repro.utils.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (experiments -> execution)
+    from repro.experiments.config import ExperimentScale, MethodSpec, SweepConfig
+    from repro.experiments.workloads import PreparedWorkload
+
+#: Version prefix baked into every fingerprint; bump to invalidate every
+#: stored result after a semantic change to the evaluation path.
+FINGERPRINT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class WorkloadRef:
+    """A by-value reference to a prepared workload.
+
+    Workload preparation (data synthesis, DNN training, conversion) is fully
+    deterministic in ``(dataset, scale, seed)``, so this triple *is* the
+    workload for planning purposes: a worker process that does not hold the
+    prepared object can rebuild an identical one from the reference (loading
+    trained weights from the on-disk cache when available).
+    """
+
+    dataset: str
+    scale: "ExperimentScale"
+    seed: int
+    use_cache: bool = True
+    cache_dir: Optional[str] = None
+
+    @classmethod
+    def from_sweep_config(
+        cls, config: "SweepConfig", use_cache: bool = True,
+        cache_dir: Optional[str] = None,
+    ) -> "WorkloadRef":
+        return cls(
+            dataset=config.dataset,
+            scale=config.scale,
+            seed=config.seed,
+            use_cache=use_cache,
+            cache_dir=cache_dir,
+        )
+
+
+@dataclass(frozen=True)
+class EvaluationPlan:
+    """Everything needed to evaluate one sweep cell, by value.
+
+    Attributes
+    ----------
+    workload:
+        Reference to the trained network the cell evaluates on.
+    method:
+        Coding / weight-scaling configuration (one curve of a figure).
+    noise_kind / level:
+        Which noise axis the sweep walks and where this cell sits on it.
+    seed:
+        Sweep seed; the cell's noise stream derives from it (see
+        :meth:`noise_rng`).
+    num_steps:
+        Encoding window length ``T`` (already resolved from the scale and
+        coding, so workers need no scale logic).
+    eval_size:
+        Number of evaluation images (``None`` = the scale's default).
+    batch_size:
+        Transport-evaluation batch size.  Part of the plan identity: the
+        per-interface RNG streams advance per batch, so a different batch
+        size yields a different (equally valid) noise realisation.
+    spike_backend / analog_backend:
+        Backend selections threaded down from the CLI / sweep config.
+    scaling_mode:
+        Weight-scaling mode ("inverse" or "proportional").
+    """
+
+    workload: WorkloadRef
+    method: MethodSpec
+    noise_kind: str
+    level: float
+    seed: int
+    num_steps: int
+    eval_size: Optional[int] = None
+    batch_size: int = 16
+    spike_backend: Optional[str] = None
+    analog_backend: Optional[str] = None
+    scaling_mode: str = "inverse"
+
+    # -- identity ------------------------------------------------------------------
+    @property
+    def dataset(self) -> str:
+        return self.workload.dataset
+
+    @property
+    def method_label(self) -> str:
+        return self.method.display_label()
+
+    def cell_id(self) -> str:
+        """Human-readable cell identity used in logs and error messages."""
+        return (
+            f"{self.dataset}/{self.method_label} "
+            f"{self.noise_kind}={self.level:g}"
+        )
+
+    # -- RNG spec ------------------------------------------------------------------
+    def rng_tags(self) -> Tuple[str, str, float]:
+        """Tags of the derived noise stream (stable across processes)."""
+        return ("noise", self.method_label, float(self.level))
+
+    def noise_rng(self) -> np.random.Generator:
+        """Derive the cell's noise generator from the plan alone."""
+        return derive_rng(self.seed, *self.rng_tags())
+
+    def effective_eval_size(self) -> int:
+        """The number of evaluation images this plan actually uses.
+
+        ``eval_size=None`` and an explicit request both resolve against the
+        scale's test split, so two spellings of the same evaluation share
+        one canonical value (and hence one store fingerprint).
+        """
+        requested = self.eval_size if self.eval_size is not None else self.workload.scale.eval_size
+        return int(min(requested, self.workload.scale.test_size))
+
+    # -- fingerprinting ------------------------------------------------------------
+    def describe(self) -> dict:
+        """Canonical JSON-serialisable description of the plan.
+
+        Only result-affecting fields are included: the workload's cache
+        knobs (``use_cache``, ``cache_dir``) change where trained weights
+        are stored, never what they are, and ``eval_size`` is normalised to
+        its effective value -- so equivalent evaluations fingerprint (and
+        cache) identically.
+        """
+        payload = asdict(self)
+        payload["workload"] = {
+            "dataset": self.workload.dataset,
+            "scale": asdict(self.workload.scale),
+            "seed": self.workload.seed,
+        }
+        payload["level"] = float(self.level)
+        payload["eval_size"] = self.effective_eval_size()
+        payload["schema"] = FINGERPRINT_SCHEMA
+        return payload
+
+    def fingerprint(self, network_hash: str) -> str:
+        """Content address of this plan's result.
+
+        The fingerprint covers the canonical plan description (workload
+        reference, scale, seed, method, noise cell, backends, batch/eval
+        sizes) *plus* the hash of the trained network actually evaluated, so
+        a retrained or differently converted network never aliases a stored
+        result.
+        """
+        blob = json.dumps(
+            {"plan": self.describe(), "network": network_hash},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def network_fingerprint(workload: PreparedWorkload) -> str:
+    """Stable hash of the converted network a plan actually evaluates.
+
+    Hashes the :class:`~repro.conversion.converter.ConvertedSNN` -- every
+    segment layer's parameter tensors plus the conversion identity
+    (activation scales, input scale, batch-norm fusing) -- rather than the
+    source DNN, so two workloads collide only when their *evaluations* are
+    identical.  In particular, the same trained model converted differently
+    (e.g. ``fuse_batch_norm=False``) fingerprints differently.
+    """
+    network = workload.network
+    digest = hashlib.sha256()
+    digest.update(
+        f"{workload.dataset_name}:{workload.scale.name}:"
+        f"bn_fused={network.batch_norm_fused}:"
+        f"input_scale={float(network.input_scale)!r}".encode("utf-8")
+    )
+    for segment in network.segments:
+        digest.update(
+            f"segment{segment.index}:spikes={segment.ends_with_spikes}:"
+            f"scale={float(segment.activation_scale)!r}".encode("utf-8")
+        )
+        for layer_index, layer in enumerate(segment.layers):
+            digest.update(f"{layer_index}:{type(layer).__name__}".encode("utf-8"))
+            tensors = dict(getattr(layer, "params", {}))
+            for stat in ("running_mean", "running_var"):
+                # Unfused batch-norm layers carry their statistics outside
+                # params, and those statistics change the evaluation.
+                if hasattr(layer, stat):
+                    tensors[stat] = getattr(layer, stat)
+            for name in sorted(tensors):
+                array = np.ascontiguousarray(tensors[name])
+                digest.update(name.encode("utf-8"))
+                digest.update(str(array.shape).encode("utf-8"))
+                digest.update(str(array.dtype).encode("utf-8"))
+                digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def build_sweep_plans(
+    config: SweepConfig,
+    eval_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> List[EvaluationPlan]:
+    """Compile a :class:`SweepConfig` into its (method x level) cell plans.
+
+    Cells are ordered method-major, matching the curve assembly in
+    :mod:`repro.experiments.runner`.
+    """
+    ref = WorkloadRef.from_sweep_config(config, use_cache=use_cache, cache_dir=cache_dir)
+    resolved_batch = config.batch_size if batch_size is None else int(batch_size)
+    return [
+        EvaluationPlan(
+            workload=ref,
+            method=method,
+            noise_kind=config.noise_kind,
+            level=float(level),
+            seed=config.seed,
+            num_steps=config.scale.time_steps_for(method.coding),
+            eval_size=eval_size,
+            batch_size=resolved_batch,
+            spike_backend=config.spike_backend,
+            analog_backend=config.analog_backend,
+        )
+        for method in config.methods
+        for level in config.levels
+    ]
+
+
+def evaluate_plan(plan: EvaluationPlan, workload: PreparedWorkload) -> EvaluationResult:
+    """Evaluate one cell -- a pure function of (plan, prepared workload).
+
+    No state outside the two arguments influences the result: the pipeline
+    is built from the plan, the data shard is the workload's deterministic
+    evaluation slice, and the noise stream derives from the plan's RNG spec.
+    This is the function every executor backend ultimately runs.
+    """
+    pipeline = NoiseRobustSNN.from_plan(plan, workload.network)
+    x, y = workload.evaluation_slice(plan.eval_size)
+    deletion = plan.level if plan.noise_kind == "deletion" else 0.0
+    jitter = plan.level if plan.noise_kind == "jitter" else 0.0
+    return pipeline.evaluate(
+        x, y,
+        deletion=deletion,
+        jitter=jitter,
+        batch_size=plan.batch_size,
+        rng=plan.noise_rng(),
+    )

@@ -1,0 +1,160 @@
+"""Content-addressed on-disk store for evaluated sweep cells.
+
+Every cell result is stored as one small JSON document under a cache
+directory, keyed by the plan fingerprint (see
+:meth:`repro.execution.plan.EvaluationPlan.fingerprint` -- it covers the
+network hash, scale, seed, method, noise cell, backends and batch/eval
+sizes).  The layout fans the documents out over 256 two-hex-digit shard
+directories to keep directory listings cheap at scale::
+
+    <root>/cells/<fp[:2]>/<fingerprint>.json
+
+Because the key is a content address, the store gives three properties for
+free:
+
+* **resume** -- an interrupted sweep re-run skips every cell whose document
+  already exists and evaluates only the remainder,
+* **incremental re-runs** -- cells shared between figures and tables (same
+  fingerprint) are evaluated once and reused everywhere,
+* **invalidation** -- any change that could alter a result (new trained
+  weights, different seed/scale/backend/batch size) changes the fingerprint,
+  so stale documents are simply never read again.
+
+Writes are atomic (temp file + rename) so a killed run never leaves a
+half-written document behind.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from repro.core.pipeline import EvaluationResult
+from repro.utils.logging import get_logger
+from repro.utils.serialization import load_json, save_json
+
+logger = get_logger("execution.store")
+
+#: Environment variable providing the default result-store directory.
+RESULT_STORE_ENV = "REPRO_RESULT_STORE"
+
+#: Store format version, embedded in every document; bump on layout changes.
+STORE_VERSION = 1
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/write counters of one store instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+
+@dataclass
+class ResultStore:
+    """Content-addressed JSON store of :class:`EvaluationResult` documents."""
+
+    root: str
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    @classmethod
+    def from_env(cls) -> Optional["ResultStore"]:
+        """Build a store from ``$REPRO_RESULT_STORE``; ``None`` when unset."""
+        root = os.environ.get(RESULT_STORE_ENV, "").strip()
+        return cls(root) if root else None
+
+    # -- layout --------------------------------------------------------------------
+    def path_for(self, fingerprint: str) -> str:
+        """Document path of a fingerprint (two-hex-digit shard dirs)."""
+        return os.path.join(self.root, "cells", fingerprint[:2], f"{fingerprint}.json")
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return os.path.exists(self.path_for(fingerprint))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.fingerprints())
+
+    def fingerprints(self) -> Iterator[str]:
+        """Iterate over every stored fingerprint."""
+        cells = os.path.join(self.root, "cells")
+        if not os.path.isdir(cells):
+            return
+        for shard in sorted(os.listdir(cells)):
+            shard_dir = os.path.join(cells, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json"):
+                    yield name[: -len(".json")]
+
+    # -- access --------------------------------------------------------------------
+    def get(self, fingerprint: str) -> Optional[EvaluationResult]:
+        """Load a stored result; ``None`` (a miss) when absent or unreadable."""
+        path = self.path_for(fingerprint)
+        try:
+            document = load_json(path)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError) as error:
+            # A corrupt document (e.g. from a pre-atomic-write crash) is a
+            # miss: the cell is re-evaluated and the document overwritten.
+            logger.warning("ignoring unreadable store document %s (%s)", path, error)
+            self.stats.misses += 1
+            return None
+        try:
+            result = EvaluationResult.from_dict(document["result"])
+        except (KeyError, TypeError, ValueError) as error:
+            logger.warning("ignoring malformed store document %s (%s)", path, error)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(
+        self,
+        fingerprint: str,
+        result: EvaluationResult,
+        plan_description: Optional[dict] = None,
+    ) -> str:
+        """Persist a result document atomically; returns the path written."""
+        path = self.path_for(fingerprint)
+        document = {
+            "version": STORE_VERSION,
+            "fingerprint": fingerprint,
+            "result": result.as_dict(),
+        }
+        if plan_description is not None:
+            document["plan"] = plan_description
+        save_json(path, document, atomic=True)
+        self.stats.writes += 1
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ResultStore(root={self.root!r}, stats={self.stats.as_dict()})"
+
+
+def resolve_store(store) -> Optional[ResultStore]:
+    """Normalise a store selection.
+
+    Accepts a ready :class:`ResultStore`, a directory path (string), ``None``
+    (fall back to ``$REPRO_RESULT_STORE``; store disabled when unset) or
+    ``False`` to force the store off regardless of the environment.
+    """
+    if store is False:
+        return None
+    if store is None:
+        return ResultStore.from_env()
+    if isinstance(store, ResultStore):
+        return store
+    if isinstance(store, (str, os.PathLike)):
+        return ResultStore(os.fspath(store))
+    raise TypeError(
+        f"store must be a ResultStore, a directory path, None or False; "
+        f"got {type(store).__name__}"
+    )

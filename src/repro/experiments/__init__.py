@@ -23,7 +23,7 @@ from repro.experiments.config import (
     dataset_config,
 )
 from repro.experiments.workloads import PreparedWorkload, prepare_workload
-from repro.experiments.runner import SweepResult, run_noise_sweep
+from repro.experiments.runner import SweepResult, run_noise_sweep, run_sweeps
 from repro.experiments.figures import (
     figure2_deletion,
     figure3_jitter,
@@ -53,6 +53,7 @@ __all__ = [
     "prepare_workload",
     "SweepResult",
     "run_noise_sweep",
+    "run_sweeps",
     "figure2_deletion",
     "figure3_jitter",
     "figure4_weight_scaling_ttas",

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.nn.layers import ANALOG_BACKENDS
+from repro.snn.spikes import SPIKE_BACKENDS
 from repro.utils.config import ConfigError, validate_choice
 from repro.utils.validation import check_positive
 
@@ -209,6 +211,16 @@ class SweepConfig:
         Experiment scale (paper or bench).
     seed:
         Seed controlling training, conversion calibration and noise draws.
+    spike_backend:
+        Spike-train representation forced at every interface ("dense" or
+        "events"; ``None`` = the coder/env preference).
+    analog_backend:
+        Analog im2col/conv engine for the segment forwards ("loop" or
+        "strided"; ``None`` = the env/strided default).
+    batch_size:
+        Transport-evaluation batch size of every cell.  Part of the sweep
+        identity: the per-interface noise streams advance per batch, so a
+        different batch size draws a different (equally valid) realisation.
     """
 
     dataset: str
@@ -217,6 +229,9 @@ class SweepConfig:
     levels: Tuple[float, ...]
     scale: ExperimentScale = BENCH_SCALE
     seed: int = 0
+    spike_backend: Optional[str] = None
+    analog_backend: Optional[str] = None
+    batch_size: int = 16
 
     def __post_init__(self) -> None:
         validate_choice("noise_kind", self.noise_kind, ("deletion", "jitter"))
@@ -224,6 +239,11 @@ class SweepConfig:
             raise ConfigError("a sweep needs at least one method")
         if not self.levels:
             raise ConfigError("a sweep needs at least one noise level")
+        if self.spike_backend is not None:
+            validate_choice("spike_backend", self.spike_backend, SPIKE_BACKENDS)
+        if self.analog_backend is not None:
+            validate_choice("analog_backend", self.analog_backend, ANALOG_BACKENDS)
+        check_positive("batch_size", self.batch_size)
 
 
 #: Noise levels used by the paper.

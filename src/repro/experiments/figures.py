@@ -19,10 +19,12 @@ Figure inventory (paper -> function):
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Union
 
 from repro.coding.registry import create_coder
 from repro.core.analysis import ActivationDistribution, activation_distribution
+from repro.execution.executors import Executor
+from repro.execution.store import ResultStore
 from repro.experiments.config import (
     BENCH_DELETION_LEVELS,
     BENCH_JITTER_LEVELS,
@@ -49,6 +51,11 @@ def _sweep(
     workload: Optional[PreparedWorkload],
     eval_size: Optional[int],
     max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> SweepResult:
     if levels is None:
         levels = (
@@ -61,9 +68,12 @@ def _sweep(
         levels=tuple(levels),
         scale=scale,
         seed=seed,
+        spike_backend=spike_backend,
+        analog_backend=analog_backend,
     )
     return run_noise_sweep(
-        config, workload=workload, eval_size=eval_size, max_workers=max_workers
+        config, workload=workload, eval_size=eval_size, max_workers=max_workers,
+        executor=executor, store=store, batch_size=batch_size,
     )
 
 
@@ -75,11 +85,18 @@ def figure2_deletion(
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
     max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 2: accuracy and spike counts vs deletion probability (no WS)."""
     methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
     return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size,
-                  max_workers)
+                  max_workers, executor=executor, store=store,
+                  spike_backend=spike_backend, analog_backend=analog_backend,
+                  batch_size=batch_size)
 
 
 def figure3_jitter(
@@ -90,11 +107,18 @@ def figure3_jitter(
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
     max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 3: accuracy and spike counts vs jitter intensity (no WS)."""
     methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
     return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size,
-                  max_workers)
+                  max_workers, executor=executor, store=store,
+                  spike_backend=spike_backend, analog_backend=analog_backend,
+                  batch_size=batch_size)
 
 
 def figure4_weight_scaling_ttas(
@@ -105,6 +129,11 @@ def figure4_weight_scaling_ttas(
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
     max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
     ttas_durations: Sequence[int] = (1, 2, 3, 4, 5),
 ) -> SweepResult:
     """Fig. 4: weight scaling for every coding plus TTAS(t_a)+WS vs deletion."""
@@ -114,7 +143,9 @@ def figure4_weight_scaling_ttas(
         for t in ttas_durations
     )
     return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size,
-                  max_workers)
+                  max_workers, executor=executor, store=store,
+                  spike_backend=spike_backend, analog_backend=analog_backend,
+                  batch_size=batch_size)
 
 
 def figure5_activation_distribution(
@@ -157,6 +188,11 @@ def figure6_ttas_jitter(
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
     max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
     ttas_durations: Sequence[int] = (1, 2, 3, 4, 5, 10),
 ) -> SweepResult:
     """Fig. 6: TTFS vs TTAS(t_a) under jitter (no weight scaling)."""
@@ -165,7 +201,9 @@ def figure6_ttas_jitter(
         MethodSpec(coding="ttas", target_duration=t) for t in ttas_durations
     )
     return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size,
-                  max_workers)
+                  max_workers, executor=executor, store=store,
+                  spike_backend=spike_backend, analog_backend=analog_backend,
+                  batch_size=batch_size)
 
 
 def figure7_deletion_comparison(
@@ -176,6 +214,11 @@ def figure7_deletion_comparison(
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
     max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
     ttas_duration: int = 5,
 ) -> SweepResult:
     """Fig. 7: every coding with and without WS, plus TTAS(5)+WS, vs deletion."""
@@ -185,7 +228,9 @@ def figure7_deletion_comparison(
         MethodSpec(coding="ttas", weight_scaling=True, target_duration=ttas_duration)
     )
     return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size,
-                  max_workers)
+                  max_workers, executor=executor, store=store,
+                  spike_backend=spike_backend, analog_backend=analog_backend,
+                  batch_size=batch_size)
 
 
 def figure8_jitter_comparison(
@@ -196,10 +241,17 @@ def figure8_jitter_comparison(
     workload: Optional[PreparedWorkload] = None,
     eval_size: Optional[int] = None,
     max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
     ttas_duration: int = 10,
 ) -> SweepResult:
     """Fig. 8: rate/phase/burst/TTFS/TTAS(10) under jitter (no WS)."""
     methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
     methods.append(MethodSpec(coding="ttas", target_duration=ttas_duration))
     return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size,
-                  max_workers)
+                  max_workers, executor=executor, store=store,
+                  spike_backend=spike_backend, analog_backend=analog_backend,
+                  batch_size=batch_size)

@@ -1,38 +1,56 @@
-"""Generic (method x noise level) sweep runner with a parallel engine.
+"""Generic (method x noise level) sweep runner on the plan-execution engine.
 
 Every figure and table of the paper is a sweep of one or more *methods*
 (coding scheme, with or without weight scaling, with a burst duration for
-TTAS) across a range of noise levels on a fixed trained network.  This module
-runs such sweeps and returns a structured result that the figure/table
-modules and the reporting code consume.
+TTAS) across a range of noise levels on a fixed trained network.  This
+module compiles such sweeps into declarative
+:class:`~repro.execution.plan.EvaluationPlan` cells, runs them through the
+pluggable executor engine (:mod:`repro.execution`) and reassembles the
+structured results the figure/table modules and reporting code consume.
 
 The (method, level) cells of a sweep are statistically independent -- each
-draws its noise from an RNG stream derived solely from ``(seed, method label,
-level)`` -- so they can run concurrently.  ``run_noise_sweep(max_workers=N)``
-fans the cells out over a thread pool (the hot paths are numpy, which
-releases the GIL) and reassembles the curves in deterministic order, so the
-parallel result is bit-identical to the serial one.
+draws its noise from an RNG stream derived solely from ``(seed, method
+label, level)`` -- so they can run concurrently on any backend: the serial
+loop, a thread pool (numpy releases the GIL) or a process pool that also
+shards whole datasets for multi-dataset tables.  Results are bit-identical
+across all of them, and an optional content-addressed result store makes
+interrupted sweeps resumable and re-runs incremental.
 """
 
 from __future__ import annotations
 
-import os
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.pipeline import EvaluationResult, NoiseRobustSNN
-from repro.experiments.config import ExperimentScale, MethodSpec, SweepConfig
+from repro.execution.engine import (
+    ExecutionStats,
+    evaluate_plans,
+    register_workload,
+)
+from repro.execution.executors import (
+    SWEEP_EXECUTOR_ENV,  # noqa: F401 - re-exported for callers/tests
+    SWEEP_WORKERS_ENV,  # noqa: F401 - historical home of this constant
+    Executor,
+    resolve_executor,
+    resolve_worker_count,
+)
+from repro.execution.plan import WorkloadRef, build_sweep_plans
+from repro.execution.store import ResultStore
+from repro.experiments.config import MethodSpec, SweepConfig
 from repro.experiments.workloads import PreparedWorkload, prepare_workload
 from repro.utils.logging import get_logger
-from repro.utils.rng import derive_rng
+from repro.utils.validation import level_index
 
 logger = get_logger("experiments.runner")
 
-#: Environment variable providing the default worker count for sweeps.
-SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+def resolve_max_workers(max_workers: Optional[int] = None) -> int:
+    """Resolve the sweep worker count (see
+    :func:`repro.execution.executors.resolve_worker_count`); kept under its
+    historical name for callers of the PR-1 thread-pool API."""
+    return resolve_worker_count(max_workers)
 
 
 @dataclass
@@ -64,8 +82,8 @@ class MethodCurve:
         return self.method.display_label()
 
     def accuracy_at(self, level: float) -> float:
-        """Accuracy at a specific noise level."""
-        return self.accuracies[self.levels.index(level)]
+        """Accuracy at a specific noise level (float-tolerant lookup)."""
+        return self.accuracies[level_index(self.levels, level)]
 
     def average_accuracy(self, exclude_clean: bool = True) -> float:
         """Mean accuracy over levels (the tables' "Avg." column excludes clean)."""
@@ -83,6 +101,10 @@ class SweepResult:
     curves: List[MethodCurve]
     dnn_accuracy: float
     dataset_name: str
+    #: Execution statistics of the engine call that produced this sweep
+    #: (shared across sweeps evaluated in the same batch, e.g. a table's
+    #: datasets); ``None`` for results built by other means.
+    stats: Optional[ExecutionStats] = None
 
     def curve(self, label: str) -> MethodCurve:
         """Find a curve by its display label."""
@@ -95,135 +117,15 @@ class SweepResult:
         return [curve.label for curve in self.curves]
 
 
-def _method_pipeline(
-    workload: PreparedWorkload, method: MethodSpec, scale: ExperimentScale
-) -> NoiseRobustSNN:
-    """Build the (cheap, stateless-for-evaluation) pipeline of one method."""
-    return NoiseRobustSNN(
-        network=workload.network,
-        coding=method.coding,
-        num_steps=scale.time_steps_for(method.coding),
-        weight_scaling=method.weight_scaling,
-        coder_kwargs=method.coder_kwargs(),
-    )
-
-
-def _evaluate_cell(
-    pipeline: NoiseRobustSNN,
-    workload: PreparedWorkload,
-    method: MethodSpec,
-    noise_kind: str,
-    level: float,
-    seed: int,
-    x: np.ndarray,
-    y: np.ndarray,
-    batch_size: int,
-) -> EvaluationResult:
-    """Evaluate one (method, level) cell of the sweep.
-
-    The noise RNG is derived from ``(seed, method label, level)`` alone, so
-    the realisation is independent of which worker runs the cell and of the
-    order cells execute in -- the property that makes the parallel sweep
-    bit-identical to the serial one.
-    """
-    deletion = level if noise_kind == "deletion" else 0.0
-    jitter = level if noise_kind == "jitter" else 0.0
-    result = pipeline.evaluate(
-        x, y,
-        deletion=deletion,
-        jitter=jitter,
-        batch_size=batch_size,
-        rng=derive_rng(seed, "noise", method.display_label(), level),
-    )
-    logger.info(
-        "%s | %s %s=%.2f -> acc=%.3f spikes/sample=%.0f",
-        workload.dataset_name, method.display_label(), noise_kind, level,
-        result.accuracy, result.spikes_per_sample,
-    )
-    return result
-
-
-def resolve_max_workers(max_workers: Optional[int] = None) -> int:
-    """Resolve the sweep worker count.
-
-    ``None`` falls back to the ``REPRO_SWEEP_WORKERS`` environment variable
-    (default 1, i.e. serial); 0 or a negative value means "one worker per
-    CPU".  Explicit values are honoured as given -- note that the sweep is
-    CPU-bound numpy, so more workers than physical cores oversubscribes and
-    can *slow the sweep down*; prefer 0 over guessing a count.
-    """
-    if max_workers is None:
-        env = os.environ.get(SWEEP_WORKERS_ENV, "").strip()
-        try:
-            max_workers = int(env) if env else 1
-        except ValueError:
-            raise ValueError(
-                f"{SWEEP_WORKERS_ENV} must be an integer, got {env!r}"
-            ) from None
-    max_workers = int(max_workers)
-    if max_workers <= 0:
-        max_workers = os.cpu_count() or 1
-    return max_workers
-
-
-def run_noise_sweep(
+def _assemble_sweep(
     config: SweepConfig,
-    workload: Optional[PreparedWorkload] = None,
-    eval_size: Optional[int] = None,
-    batch_size: int = 16,
-    use_cache: bool = True,
-    max_workers: Optional[int] = None,
+    workload: PreparedWorkload,
+    results: Sequence,
+    stats: Optional[ExecutionStats],
 ) -> SweepResult:
-    """Run a full (method x noise level) sweep.
-
-    Parameters
-    ----------
-    config:
-        The sweep description (dataset, methods, noise kind, levels, scale).
-    workload:
-        Reuse an already prepared workload (shared across figures in the
-        benchmark harness); prepared on demand otherwise.
-    eval_size:
-        Override the number of evaluation images.
-    batch_size:
-        Transport-evaluation batch size.
-    use_cache:
-        Forwarded to :func:`prepare_workload` when the workload is built here.
-    max_workers:
-        Evaluate the (method, level) cells on a thread pool of this size;
-        see :func:`resolve_max_workers` for the ``None``/0 conventions.  The
-        result is bit-identical to the serial run regardless of the value.
-    """
-    if workload is None:
-        workload = prepare_workload(
-            config.dataset, scale=config.scale, seed=config.seed, use_cache=use_cache
-        )
-    x, y = workload.evaluation_slice(eval_size)
-    pipelines = [
-        _method_pipeline(workload, method, config.scale) for method in config.methods
-    ]
-    cells = [
-        (method_index, level)
-        for method_index in range(len(config.methods))
-        for level in config.levels
-    ]
-
-    def evaluate(cell: Tuple[int, float]) -> EvaluationResult:
-        method_index, level = cell
-        return _evaluate_cell(
-            pipelines[method_index], workload, config.methods[method_index],
-            config.noise_kind, level, config.seed, x, y, batch_size,
-        )
-
-    workers = resolve_max_workers(max_workers)
-    if workers > 1 and len(cells) > 1:
-        with ThreadPoolExecutor(max_workers=min(workers, len(cells))) as pool:
-            results = list(pool.map(evaluate, cells))
-    else:
-        results = [evaluate(cell) for cell in cells]
-
-    curves: List[MethodCurve] = []
+    """Fold a config's flat (method-major) cell results into curves."""
     num_levels = len(config.levels)
+    curves: List[MethodCurve] = []
     for method_index, method in enumerate(config.methods):
         cell_results = results[method_index * num_levels:(method_index + 1) * num_levels]
         curves.append(
@@ -240,4 +142,228 @@ def run_noise_sweep(
         curves=curves,
         dnn_accuracy=workload.dnn_accuracy,
         dataset_name=workload.dataset_name,
+        stats=stats,
     )
+
+
+def _workers_cannot_see(backend: Executor) -> bool:
+    """True when the backend's workers cannot share this process's objects.
+
+    Process workers under a non-fork start method (spawn/forkserver) start
+    from a blank interpreter and must rebuild workloads from their
+    references; fork-based workers inherit the parent's registry.
+    """
+    import multiprocessing
+
+    from repro.execution.executors import ProcessExecutor
+
+    return (
+        isinstance(backend, ProcessExecutor)
+        and multiprocessing.get_start_method() != "fork"
+    )
+
+
+def _check_workload_matches(workload: PreparedWorkload, config: SweepConfig) -> None:
+    """Refuse a provided workload that cannot evaluate this config.
+
+    The provided-workloads mapping is keyed by dataset name for caller
+    convenience, but a workload for a different dataset or scale would
+    silently evaluate the sweep on the wrong network (wrong time windows,
+    wrong evaluation slice), so those mismatches are errors.  A *seed*
+    mismatch is legitimate -- evaluating a given trained network under a
+    different noise seed is an established pattern; it is logged, and
+    :func:`run_sweeps` re-keys the workload reference to the workload's own
+    seed so every executor backend (including spawn-based process workers
+    that rebuild from the reference) evaluates the same network and the
+    result-store fingerprint never aliases.
+    """
+    problems = []
+    if workload.dataset_name != config.dataset:
+        problems.append(
+            f"dataset {workload.dataset_name!r} != {config.dataset!r}"
+        )
+    if workload.scale != config.scale:
+        problems.append(
+            f"scale {workload.scale.name!r} != {config.scale.name!r}"
+        )
+    if problems:
+        raise ValueError(
+            "provided workload does not match the sweep config "
+            f"({'; '.join(problems)}); prepare it with the config's "
+            "(dataset, scale) or omit it to have the sweep prepare its own"
+        )
+    if workload.seed is not None and workload.seed != config.seed:
+        logger.warning(
+            "provided %s workload was prepared with seed %s but the sweep "
+            "uses seed %s; evaluating the provided network under the sweep "
+            "seed's noise streams (the workload reference keeps seed %s so "
+            "every executor backend reconstructs the same network)",
+            config.dataset, workload.seed, config.seed, workload.seed,
+        )
+
+
+def run_sweeps(
+    configs: Sequence[SweepConfig],
+    workloads: Optional[Dict[str, PreparedWorkload]] = None,
+    eval_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    use_cache: bool = True,
+    max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+) -> List[SweepResult]:
+    """Run several sweeps as one flat batch of cells on the engine.
+
+    This is how multi-dataset tables shard *whole datasets* across worker
+    processes: the cells of every config are compiled into one plan list and
+    dispatched together, so a process pool interleaves (dataset, method,
+    level) cells freely instead of finishing one dataset before starting the
+    next.  Results are reassembled per config, in the order given.
+
+    Parameters
+    ----------
+    configs:
+        The sweep descriptions; one :class:`SweepResult` is returned per
+        entry, in order.
+    workloads:
+        Already prepared workloads keyed by dataset name (shared across
+        figures in the benchmark harness); prepared on demand otherwise.
+    eval_size:
+        Override the number of evaluation images (all configs).
+    batch_size:
+        Override the configs' transport-evaluation batch size.
+    use_cache:
+        Forwarded to :func:`prepare_workload` for workloads built here.
+    max_workers:
+        Worker count for the pooled executor backends; see
+        :func:`resolve_max_workers` for the ``None``/0 conventions.
+    executor:
+        Executor backend: an instance, a name ("serial"/"thread"/"process"),
+        or ``None`` to honour ``REPRO_SWEEP_EXECUTOR`` and fall back to the
+        thread pool when ``max_workers`` > 1.  Results are bit-identical
+        across backends.
+    store:
+        Optional content-addressed result store (instance, directory path,
+        ``None`` = honour ``$REPRO_RESULT_STORE``, ``False`` = off).  Cells
+        already stored are served from disk without evaluation.
+    """
+    # Fold a batch-size override into the configs themselves so the
+    # provenance attached to every SweepResult (result.config) describes the
+    # cells as they were actually evaluated.
+    configs = [
+        config if batch_size is None else replace(config, batch_size=int(batch_size))
+        for config in configs
+    ]
+    backend = resolve_executor(executor, max_workers)
+    prepared: Dict[WorkloadRef, PreparedWorkload] = {}
+    plans = []
+    spans: List[int] = []
+    refs: List[WorkloadRef] = []
+    for config in configs:
+        ref = WorkloadRef.from_sweep_config(config, use_cache=use_cache)
+        provided = (workloads or {}).get(config.dataset)
+        if provided is not None:
+            _check_workload_matches(provided, config)
+            if provided.seed is None and _workers_cannot_see(backend):
+                raise ValueError(
+                    "a hand-built workload (seed=None) cannot be used with "
+                    "the process executor under a non-fork start method: "
+                    "spawned workers would rebuild a different network from "
+                    "the workload reference; prepare the workload with "
+                    "prepare_workload (which records its seed) or use the "
+                    "serial/thread executor"
+                )
+            if provided.seed is not None and provided.seed != config.seed:
+                # The reference must reconstruct the network actually being
+                # evaluated: a worker that cannot see the provided object
+                # (spawn start method) rebuilds from the ref, so the ref
+                # carries the *workload's* seed while the plans keep the
+                # sweep seed for their noise streams.
+                ref = replace(ref, seed=provided.seed)
+        refs.append(ref)
+        if ref not in prepared:
+            workload = provided or prepare_workload(
+                config.dataset, scale=config.scale, seed=config.seed,
+                use_cache=use_cache,
+            )
+            prepared[ref] = workload
+            # Seed the process-local registry so serial/thread backends (and
+            # forked process workers) reuse the prepared object directly.
+            register_workload(ref, workload)
+        config_plans = [
+            replace(plan, workload=ref)
+            for plan in build_sweep_plans(
+                config, eval_size=eval_size, use_cache=use_cache
+            )
+        ]
+        spans.append(len(config_plans))
+        plans.extend(config_plans)
+
+    evaluation = evaluate_plans(
+        plans, executor=backend, max_workers=max_workers, store=store,
+        workloads=prepared,
+    )
+
+    sweeps: List[SweepResult] = []
+    offset = 0
+    for config, ref, span in zip(configs, refs, spans):
+        sweeps.append(
+            _assemble_sweep(
+                config,
+                prepared[ref],
+                evaluation.results[offset:offset + span],
+                evaluation.stats,
+            )
+        )
+        offset += span
+    return sweeps
+
+
+def run_noise_sweep(
+    config: SweepConfig,
+    workload: Optional[PreparedWorkload] = None,
+    eval_size: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    use_cache: bool = True,
+    max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+) -> SweepResult:
+    """Run a full (method x noise level) sweep.
+
+    Parameters
+    ----------
+    config:
+        The sweep description (dataset, methods, noise kind, levels, scale,
+        backend selections, batch size).
+    workload:
+        Reuse an already prepared workload (shared across figures in the
+        benchmark harness); prepared on demand otherwise.
+    eval_size:
+        Override the number of evaluation images.
+    batch_size:
+        Override the config's transport-evaluation batch size.
+    use_cache:
+        Forwarded to :func:`prepare_workload` when the workload is built here.
+    max_workers:
+        Worker count for the pooled executor backends; see
+        :func:`resolve_max_workers` for the ``None``/0 conventions.  The
+        result is bit-identical to the serial run regardless of the value.
+    executor:
+        Executor backend selection ("serial"/"thread"/"process", an
+        :class:`~repro.execution.executors.Executor`, or ``None`` for the
+        env/worker-count default).
+    store:
+        Optional result store for resumable/incremental sweeps.
+    """
+    workloads = None if workload is None else {config.dataset: workload}
+    return run_sweeps(
+        [config],
+        workloads=workloads,
+        eval_size=eval_size,
+        batch_size=batch_size,
+        use_cache=use_cache,
+        max_workers=max_workers,
+        executor=executor,
+        store=store,
+    )[0]

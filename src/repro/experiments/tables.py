@@ -5,15 +5,22 @@ Table I reports, per dataset (MNIST, CIFAR-10, CIFAR-100) and per method
 accuracy and spike counts at deletion probabilities {clean, 0.2, 0.5, 0.8}
 plus their average.  Table II reports accuracy under jitter sigma
 {clean, 1, 2, 3} for phase/burst/TTFS/TTAS without weight scaling.
+
+Both tables are built on :func:`repro.experiments.runner.run_sweeps`: the
+cells of *all* datasets are compiled into one flat plan batch and dispatched
+through the executor engine together, so a process pool shards whole
+datasets across workers instead of sweeping them strictly serially.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.execution.executors import Executor
+from repro.execution.store import ResultStore
 from repro.experiments.config import (
     BENCH_SCALE,
     ExperimentScale,
@@ -22,8 +29,8 @@ from repro.experiments.config import (
     TABLE1_DELETION_LEVELS,
     TABLE2_JITTER_LEVELS,
 )
-from repro.experiments.runner import MethodCurve, SweepResult, run_noise_sweep
-from repro.experiments.workloads import PreparedWorkload, prepare_workload
+from repro.experiments.runner import MethodCurve, SweepResult, run_sweeps
+from repro.experiments.workloads import PreparedWorkload
 
 
 @dataclass
@@ -104,23 +111,39 @@ def _run_table(
     include_spikes: bool,
     name: str,
     max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> TableResult:
-    rows: List[TableRow] = []
-    for dataset in datasets:
-        workload = None if workloads is None else workloads.get(dataset)
-        config = SweepConfig(
+    configs = [
+        SweepConfig(
             dataset=dataset,
             methods=tuple(methods),
             noise_kind=noise_kind,
             levels=tuple(levels),
             scale=scale,
             seed=seed,
+            spike_backend=spike_backend,
+            analog_backend=analog_backend,
         )
-        sweep: SweepResult = run_noise_sweep(
-            config, workload=workload, eval_size=eval_size, max_workers=max_workers
-        )
+        for dataset in datasets
+    ]
+    sweeps: List[SweepResult] = run_sweeps(
+        configs,
+        workloads=workloads,
+        eval_size=eval_size,
+        batch_size=batch_size,
+        max_workers=max_workers,
+        executor=executor,
+        store=store,
+    )
+    rows: List[TableRow] = []
+    for config, sweep in zip(configs, sweeps):
         rows.extend(
-            _curve_to_row(dataset, curve, include_spikes) for curve in sweep.curves
+            _curve_to_row(config.dataset, curve, include_spikes)
+            for curve in sweep.curves
         )
     return TableResult(name=name, rows=rows, noise_kind=noise_kind, levels=list(levels))
 
@@ -134,6 +157,11 @@ def table1_deletion(
     eval_size: Optional[int] = None,
     max_workers: Optional[int] = None,
     ttas_duration: int = 5,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> TableResult:
     """Table I: accuracy and spike counts under deletion, all methods + WS."""
     methods = [
@@ -146,7 +174,9 @@ def table1_deletion(
     return _run_table(
         datasets, methods, "deletion", levels, scale, seed, workloads, eval_size,
         include_spikes=True, name="Table I (spike deletion)",
-        max_workers=max_workers,
+        max_workers=max_workers, executor=executor, store=store,
+        spike_backend=spike_backend, analog_backend=analog_backend,
+        batch_size=batch_size,
     )
 
 
@@ -159,6 +189,11 @@ def table2_jitter(
     eval_size: Optional[int] = None,
     max_workers: Optional[int] = None,
     ttas_duration: int = 10,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
 ) -> TableResult:
     """Table II: accuracy under jitter for phase/burst/TTFS/TTAS (no WS)."""
     methods = [
@@ -170,5 +205,7 @@ def table2_jitter(
     return _run_table(
         datasets, methods, "jitter", levels, scale, seed, workloads, eval_size,
         include_spikes=False, name="Table II (spike jitter)",
-        max_workers=max_workers,
+        max_workers=max_workers, executor=executor, store=store,
+        spike_backend=spike_backend, analog_backend=analog_backend,
+        batch_size=batch_size,
     )

@@ -63,6 +63,9 @@ class PreparedWorkload:
     network: ConvertedSNN
     dnn_accuracy: float
     scale: ExperimentScale
+    #: Seed the workload was prepared with; ``None`` for hand-built
+    #: workloads (the sweep engine then cannot verify seed consistency).
+    seed: Optional[int] = None
 
     def evaluation_slice(self, size: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Return the (images, labels) slice used for noisy evaluations."""
@@ -180,4 +183,5 @@ def prepare_workload(
         network=network,
         dnn_accuracy=dnn_accuracy,
         scale=scale,
+        seed=int(seed),
     )

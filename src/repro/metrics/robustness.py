@@ -14,6 +14,8 @@ from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
+from repro.utils.validation import level_index
+
 
 @dataclass(frozen=True)
 class RobustnessSummary:
@@ -37,11 +39,13 @@ class RobustnessSummary:
     clean_accuracy: float = float("nan")
 
     def degradation_at(self, level: float) -> float:
-        """Accuracy drop (clean - noisy) at the given noise level."""
-        if level not in self.levels:
-            raise KeyError(f"noise level {level} is not part of this sweep")
-        index = list(self.levels).index(level)
-        return self.clean_accuracy - self.accuracies[index]
+        """Accuracy drop (clean - noisy) at the given noise level.
+
+        The level is matched with a float tolerance, so levels produced by
+        arithmetic (``np.linspace``, ``0.1 * i``) resolve to the intended
+        sweep entry instead of raising on a ULP mismatch.
+        """
+        return self.clean_accuracy - self.accuracies[level_index(self.levels, level)]
 
 
 def summarize_noise_sweep(

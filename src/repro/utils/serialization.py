@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 from typing import Any, Dict, Mapping
 
 import numpy as np
@@ -53,13 +54,35 @@ class _NumpyJSONEncoder(json.JSONEncoder):
         return super().default(obj)
 
 
-def save_json(path: str, payload: Any, indent: int = 2) -> str:
-    """Write ``payload`` as JSON, creating parent directories as needed."""
+def save_json(path: str, payload: Any, indent: int = 2, atomic: bool = False) -> str:
+    """Write ``payload`` as JSON, creating parent directories as needed.
+
+    With ``atomic=True`` the document is written to a temporary file in the
+    target directory and moved into place with an atomic rename, so readers
+    (and crashed writers) never observe a half-written file -- the result
+    store relies on this for its resume guarantee.
+    """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=indent, cls=_NumpyJSONEncoder)
-        handle.write("\n")
+    if not atomic:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent, cls=_NumpyJSONEncoder)
+            handle.write("\n")
+        return path
+    fd, temp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=indent, cls=_NumpyJSONEncoder)
+            handle.write("\n")
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
     return path
 
 

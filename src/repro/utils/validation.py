@@ -60,6 +60,31 @@ def check_shape(
     return array
 
 
+def level_index(
+    levels: Sequence[Number], level: Number,
+    rtol: float = 1e-9, atol: float = 1e-9,
+) -> int:
+    """Index of ``level`` in ``levels``, matched with a float tolerance.
+
+    Noise levels produced by arithmetic (``np.linspace``, ``0.1 * i``) are
+    rarely bit-equal to the literal a caller asks for, so an exact
+    ``list.index`` lookup breaks; this matches the closest level within
+    ``rtol``/``atol`` instead and raises ``KeyError`` when nothing is close.
+    """
+    values = np.asarray(levels, dtype=np.float64)
+    if values.size == 0:
+        raise KeyError(f"noise level {level} is not part of an empty sweep")
+    target = float(level)
+    distances = np.abs(values - target)
+    index = int(distances.argmin())
+    if not np.isclose(values[index], target, rtol=rtol, atol=atol):
+        raise KeyError(
+            f"noise level {level} is not part of this sweep "
+            f"(levels: {[float(v) for v in values]})"
+        )
+    return index
+
+
 def check_index(name: str, value: int, size: int) -> int:
     """Validate that ``value`` is a valid index into a container of ``size``."""
     value = int(value)

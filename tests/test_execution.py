@@ -1,0 +1,638 @@
+"""Tests for the execution subsystem: plans, executors, engine, result store."""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import EvaluationResult
+from repro.execution import (
+    CellEvaluationError,
+    EvaluationPlan,
+    ProcessExecutor,
+    ResultStore,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkloadRef,
+    build_sweep_plans,
+    evaluate_plan,
+    evaluate_plans,
+    network_fingerprint,
+    register_workload,
+    resolve_executor,
+    resolve_store,
+)
+from repro.execution.executors import SWEEP_EXECUTOR_ENV, SWEEP_WORKERS_ENV
+from repro.execution.store import RESULT_STORE_ENV
+from repro.experiments import prepare_workload, run_noise_sweep, run_sweeps
+from repro.experiments.config import TEST_SCALE, MethodSpec, SweepConfig
+from repro.experiments.runner import MethodCurve
+from repro.experiments.tables import table2_jitter
+from repro.metrics.robustness import RobustnessSummary
+from repro.utils.validation import level_index
+
+
+@pytest.fixture(scope="module")
+def tiny_workload():
+    return prepare_workload("mnist", scale=TEST_SCALE, seed=0, use_cache=False)
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        dataset="mnist",
+        methods=(MethodSpec(coding="ttfs"),
+                 MethodSpec(coding="ttas", target_duration=3)),
+        noise_kind="deletion",
+        levels=(0.0, 0.5),
+        scale=TEST_SCALE,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return SweepConfig(**defaults)
+
+
+class CountingExecutor(SerialExecutor):
+    """Serial executor that records how many cells it actually evaluated."""
+
+    def __init__(self):
+        self.evaluated = 0
+
+    def map(self, fn, items):
+        for item in items:
+            self.evaluated += 1
+            yield fn(item)
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+class TestPlans:
+    def test_build_sweep_plans_method_major_order(self):
+        plans = build_sweep_plans(tiny_config(), eval_size=12)
+        assert len(plans) == 4
+        assert [p.method_label for p in plans] == ["TTFS", "TTFS", "TTAS(3)", "TTAS(3)"]
+        assert [p.level for p in plans] == [0.0, 0.5, 0.0, 0.5]
+        assert all(p.num_steps == TEST_SCALE.ttfs_time_steps for p in plans)
+
+    def test_plans_are_picklable(self):
+        for plan in build_sweep_plans(tiny_config()):
+            clone = pickle.loads(pickle.dumps(plan))
+            assert clone == plan
+
+    def test_plan_rng_matches_legacy_derivation(self):
+        from repro.utils.rng import derive_rng
+
+        plan = build_sweep_plans(tiny_config())[1]
+        expected = derive_rng(0, "noise", "TTFS", 0.5)
+        assert plan.noise_rng().integers(0, 2**31) == expected.integers(0, 2**31)
+
+    def test_fingerprint_sensitivity(self, tiny_workload):
+        network_hash = network_fingerprint(tiny_workload)
+        base = build_sweep_plans(tiny_config())[0]
+        assert base.fingerprint(network_hash) == base.fingerprint(network_hash)
+        variants = [
+            build_sweep_plans(tiny_config(seed=1))[0],
+            build_sweep_plans(tiny_config(levels=(0.1, 0.5)))[0],
+            build_sweep_plans(tiny_config(), batch_size=8)[0],
+            build_sweep_plans(tiny_config(spike_backend="dense"))[0],
+            build_sweep_plans(tiny_config(analog_backend="loop"))[0],
+        ]
+        fingerprints = {base.fingerprint(network_hash)}
+        fingerprints.update(v.fingerprint(network_hash) for v in variants)
+        assert len(fingerprints) == 1 + len(variants)
+        # A different trained network must also change the address.
+        assert base.fingerprint("deadbeef") != base.fingerprint(network_hash)
+
+    def test_fingerprint_ignores_non_result_knobs(self, tiny_workload):
+        # Cache knobs change where weights live, never what the result is;
+        # eval_size=None and its explicit resolution are the same evaluation.
+        network_hash = network_fingerprint(tiny_workload)
+        base = build_sweep_plans(tiny_config())[0]
+        same = [
+            build_sweep_plans(tiny_config(), use_cache=False)[0],
+            build_sweep_plans(tiny_config(), cache_dir="/tmp/elsewhere")[0],
+            build_sweep_plans(tiny_config(), eval_size=TEST_SCALE.eval_size)[0],
+        ]
+        for variant in same:
+            assert variant.fingerprint(network_hash) == base.fingerprint(network_hash)
+        # ... but a genuinely different eval size is a different result.
+        smaller = build_sweep_plans(tiny_config(), eval_size=8)[0]
+        assert smaller.fingerprint(network_hash) != base.fingerprint(network_hash)
+
+    def test_network_fingerprint_covers_conversion(self, tiny_workload):
+        # The same trained model converted differently must not alias in
+        # the store: the fingerprint hashes the converted network.
+        import dataclasses
+
+        from repro.conversion.converter import convert_dnn_to_snn
+
+        calibration = tiny_workload.data.train.x[:64]
+        unfused = dataclasses.replace(
+            tiny_workload,
+            network=convert_dnn_to_snn(
+                tiny_workload.model, calibration, fuse_batch_norm=False
+            ),
+        )
+        assert network_fingerprint(unfused) != network_fingerprint(tiny_workload)
+
+    def test_evaluate_plan_is_deterministic(self, tiny_workload):
+        plan = build_sweep_plans(tiny_config(), eval_size=10)[1]
+        first = evaluate_plan(plan, tiny_workload)
+        second = evaluate_plan(plan, tiny_workload)
+        assert first == second
+        assert isinstance(first, EvaluationResult)
+
+    def test_evaluation_result_dict_roundtrip(self, tiny_workload):
+        plan = build_sweep_plans(tiny_config(), eval_size=10)[0]
+        result = evaluate_plan(plan, tiny_workload)
+        import json
+
+        payload = json.loads(json.dumps(result.as_dict()))
+        assert EvaluationResult.from_dict(payload) == result
+
+
+# ---------------------------------------------------------------------------
+# Executors
+# ---------------------------------------------------------------------------
+class TestExecutors:
+    def test_resolve_executor_defaults(self, monkeypatch):
+        monkeypatch.delenv(SWEEP_EXECUTOR_ENV, raising=False)
+        monkeypatch.delenv(SWEEP_WORKERS_ENV, raising=False)
+        assert resolve_executor(None, None).name == "serial"
+        assert resolve_executor(None, 4).name == "thread"
+        assert resolve_executor("process", 2).name == "process"
+        existing = ThreadExecutor(2)
+        assert resolve_executor(executor=existing) is existing
+
+    def test_resolve_executor_env(self, monkeypatch):
+        monkeypatch.setenv(SWEEP_EXECUTOR_ENV, "process")
+        assert resolve_executor(None, None).name == "process"
+        monkeypatch.setenv(SWEEP_EXECUTOR_ENV, "serial")
+        assert resolve_executor(None, 8).name == "serial"
+
+    def test_resolve_executor_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            resolve_executor("gpu")
+
+    def test_map_preserves_order(self):
+        items = list(range(12))
+        for executor in (SerialExecutor(), ThreadExecutor(4)):
+            assert list(executor.map(_square, items)) == [i * i for i in items]
+
+    def test_process_map_preserves_order(self):
+        assert list(ProcessExecutor(2).map(_square, range(6))) == [
+            i * i for i in range(6)
+        ]
+
+    def test_map_unordered_yields_on_completion(self):
+        # Item 0 sleeps; every other item is instant, so with >1 worker the
+        # slow item must come back last -- completion order, not submission.
+        pairs = list(ThreadExecutor(4).map_unordered(_slow_first, range(8)))
+        assert sorted(pairs) == [(i, i * i) for i in range(8)]
+        assert pairs[-1][0] == 0
+
+    def test_map_unordered_serial_indexing(self):
+        assert list(SerialExecutor().map_unordered(_square, [3, 5])) == [
+            (0, 9), (1, 25)
+        ]
+
+    def test_executor_matrix_bit_identical(self, tiny_workload):
+        config = tiny_config(
+            methods=(MethodSpec(coding="ttfs"),
+                     MethodSpec(coding="ttas", target_duration=3),
+                     MethodSpec(coding="rate")),
+            levels=(0.0, 0.3, 0.6),
+        )
+        reference = run_noise_sweep(
+            config, workload=tiny_workload, eval_size=12, executor="serial"
+        )
+        for executor in ("thread", "process"):
+            candidate = run_noise_sweep(
+                config, workload=tiny_workload, eval_size=12,
+                executor=executor, max_workers=3,
+            )
+            assert candidate.labels() == reference.labels()
+            assert candidate.stats.executor == executor
+            for ref_curve, cand_curve in zip(reference.curves, candidate.curves):
+                assert cand_curve.accuracies == ref_curve.accuracies
+                assert cand_curve.spike_counts == ref_curve.spike_counts
+                assert cand_curve.spikes_per_sample == ref_curve.spikes_per_sample
+
+    def test_jitter_sweep_process_identical(self, tiny_workload):
+        config = tiny_config(noise_kind="jitter", levels=(0.0, 2.0))
+        serial = run_noise_sweep(
+            config, workload=tiny_workload, eval_size=10, executor="serial"
+        )
+        process = run_noise_sweep(
+            config, workload=tiny_workload, eval_size=10,
+            executor="process", max_workers=2,
+        )
+        for s, p in zip(serial.curves, process.curves):
+            assert s.accuracies == p.accuracies
+
+
+# ---------------------------------------------------------------------------
+# Result store
+# ---------------------------------------------------------------------------
+class TestResultStore:
+    def test_rerun_hits_store_and_evaluates_nothing(self, tiny_workload, tmp_path):
+        config = tiny_config()
+        store = ResultStore(str(tmp_path))
+        first = run_noise_sweep(
+            config, workload=tiny_workload, eval_size=12, store=store
+        )
+        assert first.stats.evaluated_cells == 4
+        assert first.stats.store_writes == 4
+
+        counting = CountingExecutor()
+        second = run_noise_sweep(
+            config, workload=tiny_workload, eval_size=12, store=store,
+            executor=counting,
+        )
+        assert counting.evaluated == 0
+        assert second.stats.evaluated_cells == 0
+        assert second.stats.store_hits == 4
+        for f, s in zip(first.curves, second.curves):
+            assert f.accuracies == s.accuracies
+            assert f.spike_counts == s.spike_counts
+            assert f.spikes_per_sample == s.spikes_per_sample
+
+    def test_resume_from_partial_store(self, tiny_workload, tmp_path):
+        config = tiny_config()
+        store = ResultStore(str(tmp_path))
+        run_noise_sweep(config, workload=tiny_workload, eval_size=12, store=store)
+        fingerprints = list(store.fingerprints())
+        assert len(fingerprints) == 4
+
+        # Simulate an interrupted run: drop two of the four cell documents.
+        for fingerprint in fingerprints[:2]:
+            os.unlink(store.path_for(fingerprint))
+        counting = CountingExecutor()
+        resumed = run_noise_sweep(
+            config, workload=tiny_workload, eval_size=12, store=store,
+            executor=counting,
+        )
+        assert counting.evaluated == 2
+        assert resumed.stats.store_hits == 2
+        assert resumed.stats.evaluated_cells == 2
+        assert sorted(store.fingerprints()) == sorted(fingerprints)
+
+    def test_fingerprint_change_invalidates_store(self, tiny_workload, tmp_path):
+        store = ResultStore(str(tmp_path))
+        run_noise_sweep(
+            tiny_config(), workload=tiny_workload, eval_size=12, store=store
+        )
+        # A different batch size is a different noise realisation, so every
+        # cell must miss and re-evaluate rather than alias the stored rows.
+        counting = CountingExecutor()
+        rerun = run_noise_sweep(
+            tiny_config(), workload=tiny_workload, eval_size=12, store=store,
+            batch_size=6, executor=counting,
+        )
+        assert counting.evaluated == 4
+        assert rerun.stats.store_hits == 0
+        assert len(list(store.fingerprints())) == 8
+
+    @pytest.mark.parametrize("payload", [
+        "{not json",                                    # truncated write
+        '{"version": 1, "result": {"accuracy": "oops"}}',  # bad field types
+        '{"version": 1}',                               # missing result
+    ])
+    def test_corrupt_document_is_a_miss(self, tiny_workload, tmp_path, payload):
+        store = ResultStore(str(tmp_path))
+        run_noise_sweep(
+            tiny_config(), workload=tiny_workload, eval_size=12, store=store
+        )
+        victim = store.path_for(next(iter(store.fingerprints())))
+        with open(victim, "w", encoding="utf-8") as handle:
+            handle.write(payload)
+        counting = CountingExecutor()
+        rerun = run_noise_sweep(
+            tiny_config(), workload=tiny_workload, eval_size=12, store=store,
+            executor=counting,
+        )
+        assert counting.evaluated == 1
+        assert rerun.stats.store_hits == 3
+
+    def test_completed_cells_persist_before_a_slow_failure(
+        self, tiny_workload, tmp_path, monkeypatch
+    ):
+        # One cell sleeps then fails while the others finish instantly on a
+        # thread pool: the finished cells must already be on disk when the
+        # failure surfaces (completion-order persistence, the resume
+        # guarantee for killed/failed runs).
+        import time
+
+        from repro.execution import engine as engine_module
+        from repro.execution.plan import evaluate_plan as real_evaluate_plan
+
+        def flaky_evaluate_plan(plan, workload):
+            if plan.method_label == "TTFS" and plan.level == 0.0:
+                time.sleep(0.3)
+                raise RuntimeError("injected failure")
+            return real_evaluate_plan(plan, workload)
+
+        monkeypatch.setattr(engine_module, "evaluate_plan", flaky_evaluate_plan)
+        store = ResultStore(str(tmp_path))
+        with pytest.raises(CellEvaluationError, match="TTFS"):
+            run_noise_sweep(
+                tiny_config(), workload=tiny_workload, eval_size=12,
+                store=store, executor="thread", max_workers=4,
+            )
+        assert len(list(store.fingerprints())) == 3  # the three fast cells
+
+    def test_store_shared_between_figure_and_table_cells(self, tiny_workload, tmp_path):
+        # Identical (dataset, method, level, backends) cells share one
+        # document no matter which entry point evaluated them first.
+        store = ResultStore(str(tmp_path))
+        config = tiny_config(
+            methods=(MethodSpec(coding="phase"),
+                     MethodSpec(coding="burst"),
+                     MethodSpec(coding="ttfs"),
+                     MethodSpec(coding="ttas", target_duration=3)),
+            noise_kind="jitter",
+            levels=(0.0, 2.0),
+        )
+        run_noise_sweep(config, workload=tiny_workload, eval_size=10, store=store)
+        table = table2_jitter(
+            datasets=("mnist",), levels=(0.0, 2.0), scale=TEST_SCALE,
+            workloads={"mnist": tiny_workload}, eval_size=10, ttas_duration=3,
+            store=store,
+        )
+        assert len(table.rows_for("mnist")) == 4
+        assert len(list(store.fingerprints())) == 8  # nothing re-stored twice
+
+    def test_resolve_store(self, monkeypatch, tmp_path):
+        monkeypatch.delenv(RESULT_STORE_ENV, raising=False)
+        assert resolve_store(None) is None
+        assert resolve_store(False) is None
+        assert resolve_store(str(tmp_path)).root == str(tmp_path)
+        store = ResultStore(str(tmp_path))
+        assert resolve_store(store) is store
+        monkeypatch.setenv(RESULT_STORE_ENV, str(tmp_path / "env"))
+        assert resolve_store(None).root == str(tmp_path / "env")
+        assert resolve_store(False) is None
+        with pytest.raises(TypeError):
+            resolve_store(123)
+
+    def test_store_layout_is_sharded(self, tmp_path):
+        store = ResultStore(str(tmp_path))
+        result = EvaluationResult(
+            accuracy=0.5, total_spikes=10, spikes_per_sample=1.0, coding="ttfs",
+            deletion=0.2, jitter=0.0, weight_scaling_factor=1.0, num_samples=10,
+        )
+        fingerprint = "ab" + "0" * 62
+        path = store.put(fingerprint, result, {"note": "layout"})
+        assert path == os.path.join(str(tmp_path), "cells", "ab", f"{fingerprint}.json")
+        assert fingerprint in store
+        assert store.get(fingerprint) == result
+
+
+# ---------------------------------------------------------------------------
+# Multi-sweep batches (tables) and failure reporting
+# ---------------------------------------------------------------------------
+class TestEngine:
+    def test_run_sweeps_flattens_multiple_configs(self, tiny_workload):
+        configs = [tiny_config(), tiny_config(noise_kind="jitter", levels=(0.0, 1.0))]
+        counting = CountingExecutor()
+        sweeps = run_sweeps(
+            configs, workloads={"mnist": tiny_workload}, eval_size=10,
+            executor=counting,
+        )
+        assert len(sweeps) == 2
+        assert counting.evaluated == 8  # one flat dispatch for both sweeps
+        assert sweeps[0].config.noise_kind == "deletion"
+        assert sweeps[1].config.noise_kind == "jitter"
+        for sweep in sweeps:
+            assert sweep.stats.total_cells == 8
+
+    def test_provided_workload_must_match_config(self, tiny_workload):
+        import logging
+
+        from repro.experiments.config import BENCH_SCALE
+
+        assert tiny_workload.seed == 0
+        mismatched_scale = tiny_config(scale=BENCH_SCALE)
+        with pytest.raises(ValueError, match="scale"):
+            run_sweeps([mismatched_scale], workloads={"mnist": tiny_workload},
+                       eval_size=8)
+        # A seed mismatch is a legitimate pattern (evaluate a given network
+        # under a different noise seed): warned about, not rejected.  The
+        # repro root logger does not propagate, so capture directly.
+        records = []
+
+        class Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        logger = logging.getLogger("repro.experiments.runner")
+        handler = Capture(level=logging.WARNING)
+        logger.addHandler(handler)
+        try:
+            result = run_sweeps(
+                [tiny_config(seed=3)], workloads={"mnist": tiny_workload},
+                eval_size=8,
+            )[0]
+        finally:
+            logger.removeHandler(handler)
+        assert len(result.curves) == 2
+        assert any("seed" in record.getMessage() for record in records)
+
+    def test_cell_error_carries_identity(self, tiny_workload):
+        # Deletion probability > 1 passes config validation but fails inside
+        # the cell; the engine must say which cell died.
+        config = tiny_config(levels=(0.0, 1.5))
+        with pytest.raises(CellEvaluationError) as excinfo:
+            run_noise_sweep(config, workload=tiny_workload, eval_size=10)
+        error = excinfo.value
+        assert error.dataset == "mnist"
+        assert error.method == "TTFS"
+        assert error.noise_kind == "deletion"
+        assert error.level == 1.5
+        assert "deletion" in str(error)
+
+    def test_cell_error_survives_process_boundary(self, tiny_workload):
+        config = tiny_config(levels=(1.5,))
+        with pytest.raises(CellEvaluationError) as excinfo:
+            run_noise_sweep(
+                config, workload=tiny_workload, eval_size=10,
+                executor="process", max_workers=2,
+            )
+        assert excinfo.value.dataset == "mnist"
+        assert excinfo.value.level == 1.5
+
+    def test_cell_error_pickle_roundtrip(self):
+        error = CellEvaluationError("mnist", "TTFS", "deletion", 0.5, "boom")
+        clone = pickle.loads(pickle.dumps(error))
+        assert clone.dataset == "mnist"
+        assert clone.method == "TTFS"
+        assert clone.level == 0.5
+        assert "boom" in str(clone)
+
+    def test_workload_registry_round_trip(self, tiny_workload):
+        from repro.execution import workload_for
+
+        ref = WorkloadRef(dataset="mnist", scale=TEST_SCALE, seed=0, use_cache=False)
+        register_workload(ref, tiny_workload)
+        assert workload_for(ref) is tiny_workload
+
+    def test_workload_registry_is_bounded(self, tiny_workload):
+        from repro.execution.engine import (
+            _WORKLOAD_REGISTRY,
+            WORKLOAD_REGISTRY_LIMIT,
+        )
+
+        for seed in range(WORKLOAD_REGISTRY_LIMIT + 5):
+            ref = WorkloadRef(dataset="mnist", scale=TEST_SCALE, seed=1000 + seed)
+            register_workload(ref, tiny_workload)
+        assert len(_WORKLOAD_REGISTRY) <= WORKLOAD_REGISTRY_LIMIT
+
+    def test_batch_size_override_reflected_in_config(self, tiny_workload):
+        result = run_noise_sweep(
+            tiny_config(), workload=tiny_workload, eval_size=12, batch_size=4
+        )
+        assert result.config.batch_size == 4
+
+    def test_batch_workloads_bypass_registry(self, tiny_workload, monkeypatch):
+        # A batch's pinned workloads must be used directly -- no registry
+        # lookups that could evict-and-re-prepare members of a large batch.
+        import repro.experiments.workloads as workloads_module
+        from repro.execution.engine import _WORKLOAD_REGISTRY
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("prepare_workload must not be called")
+
+        monkeypatch.setattr(workloads_module, "prepare_workload", forbidden)
+        saved = dict(_WORKLOAD_REGISTRY)
+        _WORKLOAD_REGISTRY.clear()
+        try:
+            config = tiny_config()
+            ref = WorkloadRef.from_sweep_config(config, use_cache=False)
+            plans = build_sweep_plans(config, eval_size=10, use_cache=False)
+            evaluation = evaluate_plans(plans, workloads={ref: tiny_workload})
+            assert evaluation.stats.evaluated_cells == len(plans)
+        finally:
+            _WORKLOAD_REGISTRY.update(saved)
+
+    def test_unwritable_store_degrades_to_warning(self, tiny_workload, tmp_path, monkeypatch):
+        store = ResultStore(str(tmp_path))
+        monkeypatch.setattr(
+            ResultStore, "put",
+            lambda self, *a, **k: (_ for _ in ()).throw(OSError("disk full")),
+        )
+        result = run_noise_sweep(
+            tiny_config(), workload=tiny_workload, eval_size=12, store=store
+        )
+        assert result.stats.evaluated_cells == 4
+        assert result.stats.store_writes == 0
+        assert len(result.curves) == 2
+
+    def test_evaluate_plans_empty(self):
+        evaluation = evaluate_plans([])
+        assert evaluation.results == []
+        assert evaluation.stats.total_cells == 0
+
+
+# ---------------------------------------------------------------------------
+# Float-tolerant level lookups (satellite fix)
+# ---------------------------------------------------------------------------
+class TestLevelLookups:
+    def test_level_index_tolerates_arithmetic_floats(self):
+        levels = list(np.linspace(0.0, 0.9, 10))  # 0.30000000000000004 etc.
+        assert level_index(levels, 0.3) == 3
+        assert level_index(levels, levels[7]) == 7
+        with pytest.raises(KeyError):
+            level_index(levels, 0.35)
+        with pytest.raises(KeyError):
+            level_index([], 0.0)
+
+    def test_accuracy_at_linspace_levels(self):
+        levels = list(np.linspace(0.0, 0.9, 10))
+        curve = MethodCurve(
+            method=MethodSpec(coding="rate"),
+            levels=levels,
+            accuracies=[1.0 - 0.1 * i for i in range(10)],
+            spike_counts=[100] * 10,
+            spikes_per_sample=[10.0] * 10,
+        )
+        assert curve.accuracy_at(0.3) == pytest.approx(0.7)
+        with pytest.raises(KeyError):
+            curve.accuracy_at(0.33)
+
+    def test_degradation_at_linspace_levels(self):
+        levels = list(np.linspace(0.0, 2.0, 5))  # includes 0.5000000000000001-style
+        summary = RobustnessSummary(
+            levels=levels,
+            accuracies=[0.9, 0.8, 0.6, 0.4, 0.2],
+            average=0.5,
+            clean_accuracy=0.9,
+        )
+        assert summary.degradation_at(0.5) == pytest.approx(0.1)
+        assert summary.degradation_at(2.0) == pytest.approx(0.7)
+        with pytest.raises(KeyError):
+            summary.degradation_at(0.75)
+
+
+# ---------------------------------------------------------------------------
+# CLI plumbing
+# ---------------------------------------------------------------------------
+class TestCliPlumbing:
+    def test_figure_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "figure", "--name", "fig2", "--executor", "process",
+            "--spike-backend", "events", "--analog-backend", "strided",
+            "--batch-size", "8", "--result-store", "/tmp/cells",
+        ])
+        assert args.executor == "process"
+        assert args.spike_backend == "events"
+        assert args.analog_backend == "strided"
+        assert args.batch_size == 8
+        assert args.result_store == "/tmp/cells"
+
+    def test_table_flags(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "table", "--name", "table1", "--executor", "thread",
+            "--spike-backend", "dense", "--analog-backend", "loop",
+            "--batch-size", "4",
+        ])
+        assert args.executor == "thread"
+        assert args.spike_backend == "dense"
+        assert args.analog_backend == "loop"
+        assert args.batch_size == 4
+        assert args.result_store is None
+
+    def test_evaluate_batch_size_flag(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["evaluate", "--dataset", "mnist", "--batch-size", "4"]
+        )
+        assert args.batch_size == 4
+
+    def test_backends_flow_into_sweep_config(self, tiny_workload):
+        config = tiny_config(spike_backend="events", analog_backend="strided")
+        plans = build_sweep_plans(config, batch_size=8)
+        assert all(p.spike_backend == "events" for p in plans)
+        assert all(p.analog_backend == "strided" for p in plans)
+        assert all(p.batch_size == 8 for p in plans)
+        result = run_noise_sweep(config, workload=tiny_workload, eval_size=8)
+        assert result.config.spike_backend == "events"
+
+
+def _square(value: int) -> int:
+    """Module-level so the process executor can pickle it by reference."""
+    return value * value
+
+
+def _slow_first(value: int) -> int:
+    """Sleep on item 0 only; exposes completion-vs-submission ordering."""
+    if value == 0:
+        import time
+
+        time.sleep(0.3)
+    return value * value
