@@ -15,8 +15,11 @@ Sweep execution is controlled by ``--executor`` (serial / thread / process;
 also via ``REPRO_SWEEP_EXECUTOR``), ``--max-workers`` and the optional
 ``--result-store DIR`` (also via ``REPRO_RESULT_STORE``), which caches every
 evaluated (dataset, method, level) cell on disk so interrupted sweeps resume
-and re-runs are incremental.  ``--spike-backend``, ``--analog-backend`` and
-``--batch-size`` select the evaluation backends for all three subcommands.
+and re-runs are incremental.  ``--spike-backend``, ``--analog-backend``,
+``--batch-size`` and ``--simulator`` select the evaluation backends for all
+three subcommands; ``--simulator timestep`` runs the faithful time-stepped
+membrane simulation (rate coding only -- restrict a figure's curves with
+``--methods Rate``) on the fused engine by default (``REPRO_SIM_BACKEND``).
 """
 
 from __future__ import annotations
@@ -40,7 +43,7 @@ from repro.experiments import (
 from repro.execution.executors import EXECUTOR_NAMES
 from repro.experiments.config import BENCH_SCALE, TEST_SCALE, ExperimentScale
 from repro.experiments.workloads import prepare_workload
-from repro.core.pipeline import NoiseRobustSNN
+from repro.core.pipeline import SIMULATORS, NoiseRobustSNN
 from repro.nn.layers import ANALOG_BACKENDS
 from repro.snn.spikes import SPIKE_BACKENDS
 
@@ -75,6 +78,12 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
                              "overridable via REPRO_ANALOG_BACKEND)")
     parser.add_argument("--batch-size", type=int, default=None,
                         help="transport-evaluation batch size (default: 16)")
+    parser.add_argument("--simulator", choices=SIMULATORS, default=None,
+                        help="evaluation simulator: fast activation "
+                             "transport (default) or the faithful "
+                             "time-stepped membrane simulation (rate coding "
+                             "only; fused/stepped engine via "
+                             "REPRO_SIM_BACKEND)")
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -91,6 +100,11 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
                         help="content-addressed on-disk cell cache; resumes "
                              "interrupted sweeps and skips already evaluated "
                              "cells (default: REPRO_RESULT_STORE, else off)")
+    parser.add_argument("--methods", nargs="+", default=None, metavar="LABEL",
+                        help="run only the curves with these display labels "
+                             "(e.g. Rate Rate+WS 'TTAS(5)+WS'); required to "
+                             "restrict a figure to rate coding for "
+                             "--simulator timestep")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -142,6 +156,7 @@ def _run_figure(args: argparse.Namespace) -> str:
         max_workers=args.max_workers, executor=args.executor,
         store=args.result_store, spike_backend=args.spike_backend,
         analog_backend=args.analog_backend, batch_size=args.batch_size,
+        simulator=args.simulator, method_filter=args.methods,
     )
     return format_figure_series(result, f"{args.name} ({args.dataset})")
 
@@ -153,7 +168,8 @@ def _run_table(args: argparse.Namespace) -> str:
         eval_size=args.eval_size, max_workers=args.max_workers,
         executor=args.executor, store=args.result_store,
         spike_backend=args.spike_backend, analog_backend=args.analog_backend,
-        batch_size=args.batch_size,
+        batch_size=args.batch_size, simulator=args.simulator,
+        method_filter=args.methods,
     )
     return format_table_rows(result, args.name)
 
@@ -172,6 +188,7 @@ def _run_evaluate(args: argparse.Namespace) -> str:
         coder_kwargs=coder_kwargs,
         spike_backend=args.spike_backend,
         analog_backend=args.analog_backend,
+        simulator=args.simulator if args.simulator is not None else "transport",
     )
     x, y = workload.evaluation_slice(args.eval_size)
     result = pipeline.evaluate(

@@ -26,7 +26,7 @@ from repro.core.analysis import (
     all_or_none_fraction,
     expected_activation_ratio,
 )
-from repro.core.timestep import build_time_stepped_simulator
+from repro.core.timestep import build_time_stepped_simulator, evaluate_timestep
 from repro.core.calibration import BurstDurationChoice, select_burst_duration
 
 __all__ = [
@@ -41,4 +41,5 @@ __all__ = [
     "all_or_none_fraction",
     "expected_activation_ratio",
     "build_time_stepped_simulator",
+    "evaluate_timestep",
 ]

@@ -24,6 +24,7 @@ import numpy as np
 from repro.coding.base import NeuralCoder
 from repro.coding.registry import create_coder
 from repro.conversion.converter import ConvertedSNN, convert_dnn_to_snn
+from repro.core.timestep import evaluate_timestep
 from repro.core.transport import TransportResult, evaluate_transport
 from repro.core.weight_scaling import WeightScaling
 from repro.nn.model import Sequential
@@ -33,6 +34,12 @@ from repro.utils.validation import check_non_negative, check_probability
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (execution -> pipeline)
     from repro.execution.plan import EvaluationPlan
+
+#: Evaluation simulators a pipeline (and hence a sweep cell) can run on:
+#: the fast activation-transport evaluator, or the faithful time-stepped
+#: membrane simulation (rate coding only; fused/stepped engine selected via
+#: ``REPRO_SIM_BACKEND``).
+SIMULATORS = ("transport", "timestep")
 
 
 @dataclass
@@ -115,7 +122,13 @@ class NoiseRobustSNN:
         coder_kwargs: Optional[Dict] = None,
         spike_backend: Optional[str] = None,
         analog_backend: Optional[str] = None,
+        simulator: str = "transport",
+        sim_backend: Optional[str] = None,
     ):
+        if simulator not in SIMULATORS:
+            raise ValueError(
+                f"simulator must be one of {SIMULATORS}, got {simulator!r}"
+            )
         self.network = network
         self.coding = coding
         self.num_steps = int(num_steps)
@@ -126,6 +139,12 @@ class NoiseRobustSNN:
         self.spike_backend = spike_backend
         #: Analog (im2col/conv) backend override ("loop"/"strided"; None = env).
         self.analog_backend = analog_backend
+        #: Evaluation simulator: fast activation transport (default) or the
+        #: faithful time-stepped membrane simulation.
+        self.simulator = simulator
+        #: Simulation-engine override for the timestep simulator
+        #: ("fused"/"stepped"; None = REPRO_SIM_BACKEND / fused default).
+        self.sim_backend = sim_backend
 
     # -- construction -------------------------------------------------------------
     @classmethod
@@ -141,6 +160,7 @@ class NoiseRobustSNN:
         percentile: float = 99.9,
         spike_backend: Optional[str] = None,
         analog_backend: Optional[str] = None,
+        simulator: str = "transport",
         fuse_batch_norm: bool = True,
         **coder_kwargs,
     ) -> "NoiseRobustSNN":
@@ -170,6 +190,10 @@ class NoiseRobustSNN:
             Analog (im2col/conv) backend override for the segment forward
             passes ("loop" or "strided"); ``None`` defers to
             ``REPRO_ANALOG_BACKEND`` / the strided default.
+        simulator:
+            ``"transport"`` (fast activation-transport evaluation, default)
+            or ``"timestep"`` (faithful membrane simulation; rate coding
+            only, fused/stepped engine via ``REPRO_SIM_BACKEND``).
         fuse_batch_norm:
             Fold batch normalisation into the adjacent weighted layers at
             conversion time (default; see :func:`convert_dnn_to_snn`).
@@ -191,6 +215,7 @@ class NoiseRobustSNN:
             coder_kwargs=coder_kwargs,
             spike_backend=spike_backend,
             analog_backend=analog_backend,
+            simulator=simulator,
         )
 
     @classmethod
@@ -210,6 +235,8 @@ class NoiseRobustSNN:
             coder_kwargs=plan.method.coder_kwargs(),
             spike_backend=plan.spike_backend,
             analog_backend=plan.analog_backend,
+            simulator=plan.simulator,
+            sim_backend=plan.sim_backend,
         )
 
     # -- helpers -----------------------------------------------------------------
@@ -265,7 +292,7 @@ class NoiseRobustSNN:
         )
         scaling = self.make_weight_scaling()
         assumed = deletion if expected_deletion is None else expected_deletion
-        result: TransportResult = evaluate_transport(
+        kwargs = dict(
             network=self.network,
             coder=coder,
             x=x,
@@ -278,6 +305,12 @@ class NoiseRobustSNN:
             batch_size=batch_size,
             rng=rng,
         )
+        if self.simulator == "timestep":
+            result: TransportResult = evaluate_timestep(
+                sim_backend=self.sim_backend, **kwargs
+            )
+        else:
+            result = evaluate_transport(**kwargs)
         return EvaluationResult(
             accuracy=result.accuracy,
             total_spikes=result.total_spikes,

@@ -21,6 +21,7 @@ simulator honest instead of quietly approximating schemes it cannot model.
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -28,8 +29,13 @@ import numpy as np
 from repro.coding.base import NeuralCoder
 from repro.coding.rate import RateCoder
 from repro.conversion.converter import ConvertedSNN, NetworkSegment
+from repro.core.transport import TransportResult
+from repro.core.weight_scaling import WeightScaling
 from repro.nn.layers import Layer, MaxPool2D, ReLU
+from repro.nn.layers import analog_backend as analog_backend_scope
+from repro.noise.base import SpikeNoise
 from repro.snn.simulator import SimulatorLayer, TimeSteppedSimulator
+from repro.utils.rng import RngLike, default_rng, derive_rng
 from repro.utils.validation import check_positive
 
 
@@ -40,7 +46,16 @@ class _SegmentTransform:
     instantaneous PSC expressed in the previous interface's normalised units,
     and returns the drive in this interface's normalised units with the bias
     removed (the bias is injected separately as a constant step current).
+
+    The transform is shape-polymorphic over the batch axis: the stepped
+    engine calls it with ``(batch, ...)`` rows, the fused engine with the
+    whole window folded to ``(T * batch, ...)`` rows, and both get per-row
+    identical results because every analog layer treats rows independently.
     """
+
+    #: ``transform(0) == 0`` exactly: the zero-input output *is* the bias
+    #: image that gets subtracted, so whole-silent time rows can be skipped.
+    zero_preserving = True
 
     def __init__(
         self,
@@ -60,10 +75,18 @@ class _SegmentTransform:
         return out
 
     def bias_image(self, input_shape: Tuple[int, ...]) -> np.ndarray:
-        """Output of the segment for an all-zero input (the bias contribution)."""
-        key = tuple(int(s) for s in input_shape)
+        """Segment output for an all-zero input (the bias contribution).
+
+        Returned with a singleton batch axis: every analog layer maps a zero
+        row to the same values regardless of how many rows ride along, so
+        one ``(1, ...)`` image broadcasts over any batch -- including the
+        final partial batch of an eval slice and the time-folded
+        ``(T * batch, ...)`` rows of the fused engine -- without ever
+        re-running the zero-input forward for a new batch size.
+        """
+        key = tuple(int(s) for s in input_shape[1:])
         if key not in self._bias_cache:
-            zeros = np.zeros(input_shape, dtype=np.float32)
+            zeros = np.zeros((1,) + key, dtype=np.float32)
             self._bias_cache[key] = self._run(zeros)
         return self._bias_cache[key]
 
@@ -74,7 +97,7 @@ class _SegmentTransform:
         return (raw - bias) / self.output_scale
 
     def step_bias(self, input_shape: Tuple[int, ...], num_steps: int) -> np.ndarray:
-        """Constant per-step bias current for a given batch shape."""
+        """Constant per-step bias current (singleton batch axis, broadcasts)."""
         return self.bias_image(input_shape) / (self.output_scale * num_steps)
 
 
@@ -92,6 +115,8 @@ def build_time_stepped_simulator(
     coder: NeuralCoder,
     batch_input_shape: Tuple[int, ...],
     threshold: Optional[float] = None,
+    kernel_scale: float = 1.0,
+    sim_backend: Optional[str] = None,
 ) -> TimeSteppedSimulator:
     """Build a :class:`TimeSteppedSimulator` for a converted network.
 
@@ -105,10 +130,21 @@ def build_time_stepped_simulator(
     batch_input_shape:
         Shape of the input batches that will be simulated, e.g.
         ``(batch, channels, height, width)`` -- needed to pre-compute the
-        per-step bias currents.
+        per-step bias currents (any batch size may be simulated afterwards;
+        the bias images broadcast).
     threshold:
         Firing threshold of the hidden IF neurons (defaults to the coder's
         empirical threshold).
+    kernel_scale:
+        Multiplier applied to both PSC kernels -- the faithful form of the
+        paper's weight-scaling compensation ``W' = C W``: every spike
+        (input and hidden) delivers ``C`` times its nominal charge, exactly
+        as scaled synaptic weights would, while the bias currents stay
+        unscaled (matching the transport evaluator, which scales only the
+        decoded activations).
+    sim_backend:
+        Simulation engine selection forwarded to the simulator
+        ("fused"/"stepped"; ``None`` = the env/override default).
     """
     if not isinstance(coder, RateCoder):
         raise TypeError(
@@ -116,6 +152,7 @@ def build_time_stepped_simulator(
             f"coders are evaluated with the transport simulator (got {coder.name})"
         )
     check_positive("num_steps (coder)", coder.num_steps)
+    check_positive("kernel_scale", kernel_scale)
     theta = float(threshold) if threshold is not None else coder.default_threshold()
     check_positive("threshold", theta)
 
@@ -147,12 +184,13 @@ def build_time_stepped_simulator(
                 step_bias=step_bias,
             )
         )
-        current_shape = bias_image.shape
+        current_shape = current_shape[:1] + bias_image.shape[1:]
         if segment.ends_with_spikes:
             interface += 1
 
-    input_kernel = coder.step_weights()
-    hidden_kernel = np.full(coder.num_steps, theta, dtype=np.float64)
+    input_kernel = coder.step_weights() * float(kernel_scale)
+    hidden_kernel = np.full(coder.num_steps, theta * float(kernel_scale),
+                            dtype=np.float64)
     # The batched readout collapses the per-step readout GEMMs into one; it
     # is exact only for linear readout transforms.  Max pooling (allowed into
     # segments via allow_max_pooling) is the one non-linear analog op that
@@ -167,4 +205,97 @@ def build_time_stepped_simulator(
         input_kernel=input_kernel,
         hidden_kernel=hidden_kernel,
         readout_mode="batched" if readout_is_linear else "per-step",
+        sim_backend=sim_backend,
+    )
+
+
+def evaluate_timestep(
+    network: ConvertedSNN,
+    coder: NeuralCoder,
+    x: np.ndarray,
+    labels: Optional[np.ndarray] = None,
+    noise: Optional[SpikeNoise] = None,
+    weight_scaling: Optional[WeightScaling] = None,
+    expected_deletion: float = 0.0,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    sim_backend: Optional[str] = None,
+    threshold: Optional[float] = None,
+    batch_size: int = 16,
+    rng: RngLike = None,
+) -> TransportResult:
+    """Evaluate a converted network with the faithful time-stepped simulator.
+
+    The step-by-step counterpart of
+    :func:`repro.core.transport.evaluate_transport`, with the same pure
+    function shape so the plan-execution engine can dispatch faithful sweep
+    cells to any worker: every hidden layer is a population of IF neurons
+    advanced through real membrane/threshold/reset dynamics (on the fused or
+    stepped engine, per ``sim_backend``), not an activation transport.
+
+    Faithfulness caveats, stated rather than hidden:
+
+    * rate coding only (the builder's exactness constraint; temporal coders
+      raise ``TypeError``),
+    * noise corrupts the *input* spike train; the hidden-layer trains are
+      generated by the neuron dynamics themselves, so per-interface
+      re-encoding noise -- the transport model -- does not apply,
+    * weight scaling enters as ``kernel_scale``: every spike delivers
+      ``C`` times its nominal charge, the faithful reading of ``W' = C W``.
+    """
+    check_positive("batch_size", batch_size)
+    x = np.asarray(x, dtype=np.float32)
+    labels = None if labels is None else np.asarray(labels)
+    if np.any(x < 0):
+        raise ValueError(
+            "time-stepped simulation requires non-negative inputs "
+            "(images in [0, 1]); got negative values"
+        )
+    scaling = weight_scaling or WeightScaling.disabled()
+    factor = scaling.factor(float(expected_deletion))
+    num_samples = int(x.shape[0])
+    simulator = build_time_stepped_simulator(
+        network,
+        coder,
+        batch_input_shape=(min(int(batch_size), max(num_samples, 1)),) + x.shape[1:],
+        threshold=threshold,
+        kernel_scale=factor,
+        sim_backend=sim_backend,
+    )
+    spiking_layers = [layer.name for layer in simulator.layers if layer.neuron is not None]
+    generator = default_rng(rng)
+
+    correct = 0
+    total_spikes: Dict[int, int] = {}
+    with ExitStack() as stack:
+        if analog_backend is not None:
+            stack.enter_context(analog_backend_scope(analog_backend))
+        for start in range(0, num_samples, int(batch_size)):
+            batch = x[start:start + int(batch_size)]
+            normalised = batch / network.input_scale
+            train = coder.encode(
+                normalised,
+                rng=derive_rng(generator, "encode", 0),
+                backend=spike_backend,
+            )
+            if noise is not None:
+                train = noise.apply(train, rng=derive_rng(generator, "noise", 0))
+            record = simulator.run(train)
+            if labels is not None:
+                batch_labels = labels[start:start + int(batch_size)]
+                correct += int((record.predictions == batch_labels).sum())
+            total_spikes[0] = total_spikes.get(0, 0) + train.total_spikes()
+            for interface, name in enumerate(spiking_layers, start=1):
+                total_spikes[interface] = (
+                    total_spikes.get(interface, 0) + record.spike_counts[name]
+                )
+
+    accuracy = (
+        correct / num_samples if labels is not None and num_samples else float("nan")
+    )
+    return TransportResult(
+        accuracy=accuracy,
+        total_spikes=int(sum(total_spikes.values())),
+        spikes_per_interface=total_spikes,
+        num_samples=num_samples,
     )

@@ -15,8 +15,9 @@ Worker processes do not share the parent's memory (unless forked): the
 module-level :func:`execute_cell` rebuilds workloads from the plans'
 workload references on first use and memoises them per process, so a
 process evaluating many cells of one dataset prepares it once.  On
-fork-based platforms (Linux) the children inherit the parent's registry and
-skip even that.
+fork-based platforms (Linux) children inherit the registry as it stood when
+their (possibly warm, reused) pool first started and skip even that for
+workloads already known then.
 """
 
 from __future__ import annotations
@@ -56,8 +57,13 @@ WORKLOAD_REGISTRY_LIMIT = 8
 #: Workloads of the batch currently inside :func:`evaluate_plans`.  Unlike
 #: the bounded registry this mapping is exact for the batch's lifetime, so a
 #: batch spanning more than ``WORKLOAD_REGISTRY_LIMIT`` distinct workloads
-#: never evicts-and-re-prepares its own members; forked process workers
-#: inherit it because the pool is created after it is populated.
+#: never evicts-and-re-prepares its own members.  Process workers forked
+#: when a pool first starts inherit the mapping as populated at that
+#: moment; workers of a *warm* pool serving a later batch (or spawn-started
+#: workers) do not see entries pinned afterwards and fall back to
+#: :func:`workload_for`, which rebuilds deterministically from the
+#: reference (served from the trained-weight cache) and memoises per
+#: process -- slower on first touch, never different.
 _BATCH_WORKLOADS: Dict[WorkloadRef, "PreparedWorkload"] = {}
 
 #: Cached network fingerprints, keyed by workload reference (hashing the
@@ -237,6 +243,9 @@ def evaluate_plans(
     """
     plans = list(plans)
     backend = resolve_executor(executor, max_workers)
+    # Close a backend resolved here (the caller cannot reuse it); leave a
+    # caller-provided instance warm for its next dispatch.
+    owns_backend = not isinstance(executor, Executor)
     result_store = resolve_store(store)
     stats = ExecutionStats(executor=backend.name, total_cells=len(plans))
     results: List[Optional[EvaluationResult]] = [None] * len(plans)
@@ -283,6 +292,8 @@ def evaluate_plans(
     finally:
         for ref in pinned:
             _BATCH_WORKLOADS.pop(ref, None)
+        if owns_backend:
+            backend.close()
     return PlanEvaluation(results=list(results), stats=stats)
 
 

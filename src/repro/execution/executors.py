@@ -16,12 +16,23 @@ three backends produce bit-identical results; the choice is purely a
 throughput/latency decision.  Select one explicitly with the ``--executor``
 CLI flag, the ``REPRO_SWEEP_EXECUTOR`` environment variable, or the
 ``executor=`` argument of :func:`repro.experiments.runner.run_noise_sweep`.
+
+The pooled backends keep their worker pool **warm** across dispatches, so
+one executor instance reused over the many ``evaluate_plans`` /
+``run_sweeps`` calls of a figure or table run pays the fork/startup tax
+once; call :meth:`Executor.close` (or use the executor as a context
+manager) to release the workers.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor, as_completed
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+    wait,
+)
 from typing import Callable, Iterator, Optional, Sequence, Tuple, TypeVar, Union
 
 T = TypeVar("T")
@@ -67,10 +78,26 @@ class Executor:
     :meth:`map_unordered`; each default is implemented in terms of the
     other (serial backends naturally provide ``map``, pooled backends
     provide completion-ordered ``map_unordered``).
+
+    Executors are reusable across dispatches: the pooled backends keep their
+    worker pool warm between ``map``/``map_unordered`` calls (amortising the
+    per-sweep fork/startup tax across the many sweeps of a figure or table
+    run) until :meth:`close` is called -- use the executor as a context
+    manager, or rely on interpreter shutdown for one-shot scripts.
     """
 
     #: Backend name ("serial", "thread", "process").
     name: str = "abstract"
+
+    def close(self) -> None:
+        """Release pooled resources; the executor stays usable afterwards
+        (the next dispatch simply starts a fresh pool)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
         """Yield ``fn(item)`` for every item, in the order given.
@@ -115,13 +142,34 @@ class SerialExecutor(Executor):
 
 
 class _PoolExecutor(Executor):
-    """Shared submit/collect logic of the thread and process backends."""
+    """Shared submit/collect logic of the thread and process backends.
+
+    The pool is created lazily on the first dispatch and then kept **warm**
+    across ``map``/``map_unordered`` calls: repeated ``evaluate_plans`` /
+    ``run_sweeps`` batches on one executor instance pay the pool
+    startup/fork tax once, not per sweep.  :meth:`close` (or the context
+    manager) shuts the pool down; the next dispatch starts a fresh one.
+    """
 
     def __init__(self, max_workers: Optional[int] = None):
         self.max_workers = resolve_worker_count(max_workers)
+        self._pool = None
 
     def _make_pool(self, workers: int):
         raise NotImplementedError
+
+    def _warm_pool(self):
+        """The live worker pool, created on first use with ``max_workers``
+        workers (both stdlib pools spawn workers on demand, so a small
+        dispatch on a wide pool does not fork idle processes)."""
+        if self._pool is None:
+            self._pool = self._make_pool(self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
 
     def map_unordered(
         self, fn: Callable[[T], R], items: Sequence[T]
@@ -129,12 +177,11 @@ class _PoolExecutor(Executor):
         items = list(items)
         if not items:
             return
-        workers = min(self.max_workers, len(items))
-        if workers <= 1 and self.name == "thread":
+        if self.max_workers <= 1 and self.name == "thread":
             # A one-thread pool is pure overhead; degrade to the serial path.
             yield from SerialExecutor().map_unordered(fn, items)
             return
-        pool = self._make_pool(workers)
+        pool = self._warm_pool()
         indices = {}
         try:
             for index, item in enumerate(items):
@@ -143,10 +190,18 @@ class _PoolExecutor(Executor):
                 yield indices[future], future.result()
         finally:
             # Abandon queued work on error/interrupt so the generator's
-            # close does not block behind cells nobody will consume.
+            # close does not block behind cells nobody will consume, but
+            # wait for cells already *running*: callers must be free to
+            # e.g. delete a result store the moment an error surfaces
+            # without racing late writes from in-flight workers.  The pool
+            # itself stays warm for the next dispatch -- unless it is
+            # *broken* (a worker died mid-cell), in which case it cannot
+            # serve further work and is discarded.
             for future in indices:
                 future.cancel()
-            pool.shutdown(wait=True)
+            wait(indices)
+            if getattr(pool, "_broken", False):
+                self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(max_workers={self.max_workers})"

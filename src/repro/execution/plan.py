@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 import numpy as np
 
 from repro.core.pipeline import EvaluationResult, NoiseRobustSNN
+from repro.snn.simulator import resolve_sim_backend
 from repro.utils.rng import derive_rng
 
 if TYPE_CHECKING:  # pragma: no cover - cycle guard (experiments -> execution)
@@ -34,7 +35,8 @@ if TYPE_CHECKING:  # pragma: no cover - cycle guard (experiments -> execution)
 
 #: Version prefix baked into every fingerprint; bump to invalidate every
 #: stored result after a semantic change to the evaluation path.
-FINGERPRINT_SCHEMA = 1
+#: Schema 2: plans gained the ``simulator`` dimension (transport/timestep).
+FINGERPRINT_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -96,6 +98,22 @@ class EvaluationPlan:
         Backend selections threaded down from the CLI / sweep config.
     scaling_mode:
         Weight-scaling mode ("inverse" or "proportional").
+    simulator:
+        Evaluation simulator of the cell: ``"transport"`` (fast
+        activation-transport, default) or ``"timestep"`` (faithful
+        time-stepped membrane simulation; rate coding only).  Part of the
+        plan identity -- the two simulators measure different quantities, so
+        their results never alias in the store.
+    sim_backend:
+        Simulation engine of a timestep cell ("fused"/"stepped").  Pinned at
+        construction from the creating process's
+        :func:`~repro.snn.simulator.resolve_sim_backend` chain when left
+        ``None``, so workers -- which do not share the parent's process-wide
+        override, and on spawn platforms not even its globals -- evaluate
+        with exactly the engine the fingerprint was computed under (the two
+        engines agree on spikes but only to float-summation order on
+        potentials, so their results must not alias).  Always ``None`` for
+        transport cells, which are engine-independent.
     """
 
     workload: WorkloadRef
@@ -109,6 +127,18 @@ class EvaluationPlan:
     spike_backend: Optional[str] = None
     analog_backend: Optional[str] = None
     scaling_mode: str = "inverse"
+    simulator: str = "transport"
+    sim_backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.simulator == "timestep":
+            resolved = resolve_sim_backend(self.sim_backend)
+            object.__setattr__(self, "sim_backend", resolved)
+        elif self.sim_backend is not None:
+            raise ValueError(
+                "sim_backend applies to timestep plans only; transport "
+                "cells are engine-independent"
+            )
 
     # -- identity ------------------------------------------------------------------
     @property
@@ -248,6 +278,7 @@ def build_sweep_plans(
             batch_size=resolved_batch,
             spike_backend=config.spike_backend,
             analog_backend=config.analog_backend,
+            simulator=config.simulator,
         )
         for method in config.methods
         for level in config.levels

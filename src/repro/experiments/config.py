@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.pipeline import SIMULATORS
 from repro.nn.layers import ANALOG_BACKENDS
 from repro.snn.spikes import SPIKE_BACKENDS
 from repro.utils.config import ConfigError, validate_choice
@@ -221,6 +222,13 @@ class SweepConfig:
         Transport-evaluation batch size of every cell.  Part of the sweep
         identity: the per-interface noise streams advance per batch, so a
         different batch size draws a different (equally valid) realisation.
+    simulator:
+        Evaluation simulator of every cell: ``"transport"`` (fast
+        activation-transport, default) or ``"timestep"`` (faithful
+        time-stepped membrane simulation).  The faithful simulator models
+        rate coding exactly and nothing else, so a timestep sweep must use
+        rate-coded methods only (filter a figure's methods with
+        ``--methods`` / :func:`filter_methods`).
     """
 
     dataset: str
@@ -232,6 +240,7 @@ class SweepConfig:
     spike_backend: Optional[str] = None
     analog_backend: Optional[str] = None
     batch_size: int = 16
+    simulator: str = "transport"
 
     def __post_init__(self) -> None:
         validate_choice("noise_kind", self.noise_kind, ("deletion", "jitter"))
@@ -244,6 +253,48 @@ class SweepConfig:
         if self.analog_backend is not None:
             validate_choice("analog_backend", self.analog_backend, ANALOG_BACKENDS)
         check_positive("batch_size", self.batch_size)
+        validate_choice("simulator", self.simulator, SIMULATORS)
+        if self.simulator == "timestep":
+            unsupported = sorted(
+                {m.coding for m in self.methods if m.coding != "rate"}
+            )
+            if unsupported:
+                raise ConfigError(
+                    "the timestep simulator models rate coding exactly and "
+                    f"nothing else; drop the {unsupported} method(s) (e.g. "
+                    "restrict the sweep with --methods Rate) or use "
+                    "simulator='transport'"
+                )
+
+
+def filter_methods(
+    methods: Sequence[MethodSpec], labels: Optional[Sequence[str]]
+) -> Tuple[MethodSpec, ...]:
+    """Restrict a method list to the given display labels (case-insensitive).
+
+    ``None``/empty keeps every method.  Unknown labels are errors naming the
+    available ones, so a typo cannot silently drop a curve.  Used by the
+    ``--methods`` CLI flag to run a subset of a figure's curves -- e.g. only
+    the rate-coded ones, which is what the faithful timestep simulator
+    supports.
+    """
+    if not labels:
+        return tuple(methods)
+    by_label = {method.display_label().lower(): method for method in methods}
+    selected = []
+    unknown = []
+    for label in labels:
+        method = by_label.get(str(label).lower())
+        if method is None:
+            unknown.append(label)
+        else:
+            selected.append(method)
+    if unknown:
+        raise ConfigError(
+            f"unknown method label(s) {unknown}; available: "
+            f"{[m.display_label() for m in methods]}"
+        )
+    return tuple(selected)
 
 
 #: Noise levels used by the paper.

@@ -32,6 +32,7 @@ from repro.experiments.config import (
     ExperimentScale,
     MethodSpec,
     SweepConfig,
+    filter_methods,
 )
 from repro.experiments.runner import SweepResult, run_noise_sweep
 from repro.experiments.workloads import PreparedWorkload
@@ -56,6 +57,8 @@ def _sweep(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
 ) -> SweepResult:
     if levels is None:
         levels = (
@@ -63,13 +66,14 @@ def _sweep(
         )
     config = SweepConfig(
         dataset=dataset,
-        methods=tuple(methods),
+        methods=filter_methods(methods, method_filter),
         noise_kind=noise_kind,
         levels=tuple(levels),
         scale=scale,
         seed=seed,
         spike_backend=spike_backend,
         analog_backend=analog_backend,
+        simulator=simulator if simulator is not None else "transport",
     )
     return run_noise_sweep(
         config, workload=workload, eval_size=eval_size, max_workers=max_workers,
@@ -90,13 +94,16 @@ def figure2_deletion(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
 ) -> SweepResult:
     """Fig. 2: accuracy and spike counts vs deletion probability (no WS)."""
     methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
     return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size,
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
-                  batch_size=batch_size)
+                  batch_size=batch_size, simulator=simulator,
+                  method_filter=method_filter)
 
 
 def figure3_jitter(
@@ -112,13 +119,16 @@ def figure3_jitter(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
 ) -> SweepResult:
     """Fig. 3: accuracy and spike counts vs jitter intensity (no WS)."""
     methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
     return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size,
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
-                  batch_size=batch_size)
+                  batch_size=batch_size, simulator=simulator,
+                  method_filter=method_filter)
 
 
 def figure4_weight_scaling_ttas(
@@ -134,6 +144,8 @@ def figure4_weight_scaling_ttas(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
     ttas_durations: Sequence[int] = (1, 2, 3, 4, 5),
 ) -> SweepResult:
     """Fig. 4: weight scaling for every coding plus TTAS(t_a)+WS vs deletion."""
@@ -145,7 +157,8 @@ def figure4_weight_scaling_ttas(
     return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size,
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
-                  batch_size=batch_size)
+                  batch_size=batch_size, simulator=simulator,
+                  method_filter=method_filter)
 
 
 def figure5_activation_distribution(
@@ -193,6 +206,8 @@ def figure6_ttas_jitter(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
     ttas_durations: Sequence[int] = (1, 2, 3, 4, 5, 10),
 ) -> SweepResult:
     """Fig. 6: TTFS vs TTAS(t_a) under jitter (no weight scaling)."""
@@ -203,7 +218,8 @@ def figure6_ttas_jitter(
     return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size,
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
-                  batch_size=batch_size)
+                  batch_size=batch_size, simulator=simulator,
+                  method_filter=method_filter)
 
 
 def figure7_deletion_comparison(
@@ -219,6 +235,8 @@ def figure7_deletion_comparison(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
     ttas_duration: int = 5,
 ) -> SweepResult:
     """Fig. 7: every coding with and without WS, plus TTAS(5)+WS, vs deletion."""
@@ -230,7 +248,8 @@ def figure7_deletion_comparison(
     return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size,
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
-                  batch_size=batch_size)
+                  batch_size=batch_size, simulator=simulator,
+                  method_filter=method_filter)
 
 
 def figure8_jitter_comparison(
@@ -246,6 +265,8 @@ def figure8_jitter_comparison(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
     ttas_duration: int = 10,
 ) -> SweepResult:
     """Fig. 8: rate/phase/burst/TTFS/TTAS(10) under jitter (no WS)."""
@@ -254,4 +275,5 @@ def figure8_jitter_comparison(
     return _sweep(dataset, methods, "jitter", levels, scale, seed, workload, eval_size,
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
-                  batch_size=batch_size)
+                  batch_size=batch_size, simulator=simulator,
+                  method_filter=method_filter)

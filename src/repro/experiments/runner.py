@@ -15,6 +15,13 @@ loop, a thread pool (numpy releases the GIL) or a process pool that also
 shards whole datasets for multi-dataset tables.  Results are bit-identical
 across all of them, and an optional content-addressed result store makes
 interrupted sweeps resumable and re-runs incremental.
+
+Cells evaluate on the simulator their config selects
+(``SweepConfig(simulator=...)``): the fast activation-transport evaluator
+(default) or the faithful time-stepped membrane simulation
+(``"timestep"``, rate-coded methods only) -- the choice travels inside
+every plan and is part of its store fingerprint, so the two kinds of
+results never alias.
 """
 
 from __future__ import annotations
@@ -255,6 +262,11 @@ def run_sweeps(
         for config in configs
     ]
     backend = resolve_executor(executor, max_workers)
+    # A backend resolved *here* (from a name / env / worker count) cannot be
+    # reused by the caller, so its warm pool must be released before
+    # returning; a caller-provided Executor instance keeps its pool warm
+    # across calls and stays the caller's responsibility to close.
+    owns_backend = not isinstance(executor, Executor)
     prepared: Dict[WorkloadRef, PreparedWorkload] = {}
     plans = []
     spans: List[int] = []
@@ -299,10 +311,14 @@ def run_sweeps(
         spans.append(len(config_plans))
         plans.extend(config_plans)
 
-    evaluation = evaluate_plans(
-        plans, executor=backend, max_workers=max_workers, store=store,
-        workloads=prepared,
-    )
+    try:
+        evaluation = evaluate_plans(
+            plans, executor=backend, max_workers=max_workers, store=store,
+            workloads=prepared,
+        )
+    finally:
+        if owns_backend:
+            backend.close()
 
     sweeps: List[SweepResult] = []
     offset = 0

@@ -28,6 +28,7 @@ from repro.experiments.config import (
     SweepConfig,
     TABLE1_DELETION_LEVELS,
     TABLE2_JITTER_LEVELS,
+    filter_methods,
 )
 from repro.experiments.runner import MethodCurve, SweepResult, run_sweeps
 from repro.experiments.workloads import PreparedWorkload
@@ -116,17 +117,20 @@ def _run_table(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
 ) -> TableResult:
     configs = [
         SweepConfig(
             dataset=dataset,
-            methods=tuple(methods),
+            methods=filter_methods(methods, method_filter),
             noise_kind=noise_kind,
             levels=tuple(levels),
             scale=scale,
             seed=seed,
             spike_backend=spike_backend,
             analog_backend=analog_backend,
+            simulator=simulator if simulator is not None else "transport",
         )
         for dataset in datasets
     ]
@@ -162,6 +166,8 @@ def table1_deletion(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
 ) -> TableResult:
     """Table I: accuracy and spike counts under deletion, all methods + WS."""
     methods = [
@@ -176,7 +182,7 @@ def table1_deletion(
         include_spikes=True, name="Table I (spike deletion)",
         max_workers=max_workers, executor=executor, store=store,
         spike_backend=spike_backend, analog_backend=analog_backend,
-        batch_size=batch_size,
+        batch_size=batch_size, simulator=simulator, method_filter=method_filter,
     )
 
 
@@ -194,6 +200,8 @@ def table2_jitter(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
 ) -> TableResult:
     """Table II: accuracy under jitter for phase/burst/TTFS/TTAS (no WS)."""
     methods = [
@@ -207,5 +215,5 @@ def table2_jitter(
         include_spikes=False, name="Table II (spike jitter)",
         max_workers=max_workers, executor=executor, store=store,
         spike_backend=spike_backend, analog_backend=analog_backend,
-        batch_size=batch_size,
+        batch_size=batch_size, simulator=simulator, method_filter=method_filter,
     )

@@ -44,7 +44,16 @@ from repro.snn.thresholds import (
     balance_thresholds,
     empirical_threshold,
 )
-from repro.snn.simulator import SimulationRecord, TimeSteppedSimulator
+from repro.snn.simulator import (
+    FUSED_BACKEND,
+    SIM_BACKENDS,
+    STEPPED_BACKEND,
+    SimulationRecord,
+    TimeSteppedSimulator,
+    get_sim_backend,
+    resolve_sim_backend,
+    set_sim_backend,
+)
 
 __all__ = [
     "SpikeTrainArray",
@@ -70,4 +79,10 @@ __all__ = [
     "balance_thresholds",
     "TimeSteppedSimulator",
     "SimulationRecord",
+    "FUSED_BACKEND",
+    "STEPPED_BACKEND",
+    "SIM_BACKENDS",
+    "resolve_sim_backend",
+    "set_sim_backend",
+    "get_sim_backend",
 ]

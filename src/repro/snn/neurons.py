@@ -29,6 +29,20 @@ import numpy as np
 from repro.utils.validation import check_positive
 
 
+def _cumulative_membrane(state: "NeuronState", drive: np.ndarray) -> np.ndarray:
+    """Membrane trajectory of a reset-free integrator over a drive window.
+
+    Seeds the first step with the current membrane before accumulating, so
+    ``result[t]`` equals -- bit for bit -- the membrane a per-step
+    ``membrane += drive[t]`` loop would hold after step ``t`` (float64
+    accumulation in the same order; :func:`np.cumsum` accumulates
+    sequentially along the axis).
+    """
+    trajectory = drive.astype(np.float64)
+    trajectory[0] = trajectory[0] + state.membrane
+    return np.cumsum(trajectory, axis=0, out=trajectory)
+
+
 @dataclass
 class NeuronState:
     """Mutable per-population state advanced by the neuron models.
@@ -75,6 +89,34 @@ class SpikingNeuron:
     def step(self, state: NeuronState, input_current: np.ndarray) -> np.ndarray:
         """Advance one time step; return the integer spike array."""
         raise NotImplementedError
+
+    def advance(self, state: NeuronState, drive: np.ndarray) -> np.ndarray:
+        """Advance a whole ``(T, *population)`` drive window at once.
+
+        Returns the ``(T, *population)`` int16 spike array and leaves
+        ``state`` exactly as ``T`` successive :meth:`step` calls would.  The
+        default is that step loop (exact by construction, elementwise numpy
+        per iteration -- no synaptic transforms inside); subclasses override
+        it with time-vectorised scans where the per-step recurrence has a
+        provably equivalent closed form.
+        """
+        drive = np.asarray(drive)
+        spikes = np.empty(drive.shape, dtype=np.int16)
+        for t in range(drive.shape[0]):
+            spikes[t] = self.step(state, drive[t])
+        return spikes
+
+    def _window_thresholds(self, start_step: int, num_steps: int) -> np.ndarray:
+        """Dynamic thresholds of the window, one scalar per step.
+
+        Evaluated through :meth:`threshold_at` (the same scalar computation
+        :meth:`step` performs), so a vectorised scan compares against
+        bit-identical threshold values.
+        """
+        return np.array(
+            [self.threshold_at(start_step + t) for t in range(num_steps)],
+            dtype=np.float64,
+        )
 
 
 class IFNeuron(SpikingNeuron):
@@ -123,6 +165,42 @@ class IFNeuron(SpikingNeuron):
         state.step_index += 1
         return spikes
 
+    def advance(self, state: NeuronState, drive: np.ndarray) -> np.ndarray:
+        """In-window scan of the IF recurrence.
+
+        The subtract/zero reset couples each step's membrane to the previous
+        step's spike decision, so -- unlike TTFS/IFB, whose pre-spike
+        trajectory is reset-free -- there is no closed form that reproduces
+        the per-step float rounding bit for bit.  The scan therefore stays a
+        time loop, but a tight one: spikes are cast into a preallocated
+        window tensor, the threshold subtraction/zeroing is masked in place
+        (``x - theta`` where a spike fired, exactly the value ``step``'s
+        ``x - 1 * theta`` produces), and the ``fired`` flag -- an OR over
+        the window -- is folded into one pass at the end.
+        """
+        drive = np.asarray(drive)
+        num_steps = drive.shape[0]
+        if num_steps == 0:
+            return np.zeros(drive.shape, dtype=np.int16)
+        if self.allow_multiple_spikes:
+            return super().advance(state, drive)
+        spikes = np.empty(drive.shape, dtype=np.int16)
+        membrane = state.membrane
+        threshold = self.threshold
+        subtract = self.reset == "subtract"
+        crossed = np.empty(membrane.shape, dtype=bool)
+        for t in range(num_steps):
+            np.add(membrane, drive[t], out=membrane)
+            np.greater_equal(membrane, threshold, out=crossed)
+            spikes[t] = crossed
+            if subtract:
+                np.subtract(membrane, threshold, out=membrane, where=crossed)
+            else:
+                np.copyto(membrane, 0.0, where=crossed)
+        state.fired |= spikes.any(axis=0)
+        state.step_index += num_steps
+        return spikes
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"IFNeuron(threshold={self.threshold}, reset={self.reset!r})"
 
@@ -159,6 +237,33 @@ class TTFSNeuron(SpikingNeuron):
         state.fired |= newly_fired
         state.refractory |= newly_fired
         state.step_index += 1
+        return spikes
+
+    def advance(self, state: NeuronState, drive: np.ndarray) -> np.ndarray:
+        """Time-vectorised scan: exact because TTFS never resets.
+
+        The membrane before the (single) spike is a plain cumulative sum of
+        the drive, so the whole window reduces to "first step whose running
+        sum crosses the (dynamic) threshold" -- the spikes and the final
+        state are bit-identical to the per-step loop.
+        """
+        drive = np.asarray(drive)
+        num_steps = drive.shape[0]
+        if num_steps == 0:
+            return np.zeros(drive.shape, dtype=np.int16)
+        trajectory = _cumulative_membrane(state, drive)
+        thetas = self._window_thresholds(state.step_index, num_steps).reshape(
+            (num_steps,) + (1,) * state.membrane.ndim
+        )
+        crossed = trajectory >= thetas
+        eligible = (~state.fired) & (~state.refractory)
+        first_crossing = crossed & (np.cumsum(crossed, axis=0) == 1)
+        spikes = (first_crossing & eligible).astype(np.int16)
+        newly_fired = eligible & crossed.any(axis=0)
+        state.membrane = trajectory[-1].copy()
+        state.fired |= newly_fired
+        state.refractory |= newly_fired
+        state.step_index += num_steps
         return spikes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
@@ -226,6 +331,58 @@ class IntegrateFireOrBurstNeuron(SpikingNeuron):
         # eta(t) = -inf once the burst is over: silence forever.
         state.refractory |= finished
         state.step_index += 1
+        return spikes
+
+    def advance(self, state: NeuronState, drive: np.ndarray) -> np.ndarray:
+        """Time-vectorised scan of the burst automaton.
+
+        Before the first spike the membrane integrates without reset, so the
+        time-to-first-spike ``t1`` falls out of the cumulative drive exactly
+        as in the per-step loop; every spike after ``t1`` is unconditional
+        (the burst fires for ``target_duration`` steps regardless of the
+        membrane), so the whole spike pattern -- including bursts continuing
+        from a previous window and bursts truncated by this one -- is pure
+        index arithmetic on ``t1``.  Spikes, counters and gates are exact
+        w.r.t. :meth:`step`; only the final membrane may differ in the last
+        ulp (the threshold subtractions are summed once instead of
+        interleaved with the integration).
+        """
+        drive = np.asarray(drive)
+        num_steps = drive.shape[0]
+        if num_steps == 0:
+            return np.zeros(drive.shape, dtype=np.int16)
+        pop_ndim = state.membrane.ndim
+        trajectory = _cumulative_membrane(state, drive)
+        thetas = self._window_thresholds(state.step_index, num_steps)
+        thetas_col = thetas.reshape((num_steps,) + (1,) * pop_ndim)
+        eligible = (~state.fired) & (~state.refractory)
+        crossed = (trajectory >= thetas_col) & eligible
+        fires = crossed.any(axis=0)
+        first = crossed.argmax(axis=0)
+        step_index = np.arange(num_steps).reshape((num_steps,) + (1,) * pop_ndim)
+        new_burst = fires & (step_index >= first) & (
+            step_index < first + self.target_duration
+        )
+        # Bursts carried over from a previous window keep firing until their
+        # counter runs out (burst_remaining is 0 everywhere else).
+        continued_burst = step_index < state.burst_remaining
+        burst = new_burst | continued_burst
+        spikes = burst.astype(np.int16)
+
+        # eta(t) = theta(t) during every burst step: one summed subtraction.
+        subtracted = (
+            thetas @ burst.reshape(num_steps, -1).astype(np.float64)
+        ).reshape(state.membrane.shape)
+        state.membrane = trajectory[-1] - subtracted
+        state.burst_remaining = np.where(
+            fires,
+            np.maximum(first + self.target_duration - num_steps, 0),
+            np.maximum(state.burst_remaining - num_steps, 0),
+        ).astype(np.int32)
+        state.fired |= fires
+        # eta(t) = -inf for every burst that completed inside this window.
+        state.refractory |= state.fired & (state.burst_remaining == 0)
+        state.step_index += num_steps
         return spikes
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

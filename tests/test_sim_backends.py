@@ -1,0 +1,590 @@
+"""Fused vs stepped simulation-engine equivalence and integration tests.
+
+The fused engine's contract is exactness: identical spike trains and spike
+counts, readout potentials equal up to float summation order.  The matrix
+below exercises all three neuron models, both readout modes, spike recording
+on/off and several batch shapes (including partial batches), plus the
+sweep-level integration of ``simulator="timestep"`` cells through the
+executor engine and result store.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coding import RateCoder
+from repro.core import build_time_stepped_simulator, evaluate_timestep
+from repro.core.pipeline import NoiseRobustSNN
+from repro.core.timestep import _SegmentTransform
+from repro.core.transport import evaluate_transport
+from repro.core.weight_scaling import WeightScaling
+from repro.execution import ProcessExecutor, ResultStore, ThreadExecutor, evaluate_plans
+from repro.execution.plan import build_sweep_plans, network_fingerprint
+from repro.experiments.config import TEST_SCALE, MethodSpec, SweepConfig, filter_methods
+from repro.experiments.runner import run_noise_sweep
+from repro.noise.injector import NoiseInjector
+from repro.snn.neurons import IFNeuron, IntegrateFireOrBurstNeuron, TTFSNeuron
+from repro.snn.simulator import (
+    FUSED_BACKEND,
+    SIM_BACKENDS,
+    STEPPED_BACKEND,
+    SimulatorLayer,
+    TimeSteppedSimulator,
+    resolve_sim_backend,
+    set_sim_backend,
+)
+from repro.snn.spikes import SpikeTrainArray
+from repro.utils.config import ConfigError
+
+
+@pytest.fixture(autouse=True)
+def _clear_sim_override():
+    yield
+    set_sim_backend(None)
+
+
+NEURON_FACTORIES = {
+    "if-subtract": lambda: IFNeuron(0.3),
+    "if-zero": lambda: IFNeuron(0.3, reset="zero"),
+    "if-multi": lambda: IFNeuron(0.3, allow_multiple_spikes=True),
+    "ttfs": lambda: TTFSNeuron(0.6, tau=9.0),
+    "ttfs-static": lambda: TTFSNeuron(0.6),
+    "ifb": lambda: IntegrateFireOrBurstNeuron(0.4, target_duration=3, tau=7.0),
+    "ifb-single": lambda: IntegrateFireOrBurstNeuron(0.4, target_duration=1),
+    "ifb-long": lambda: IntegrateFireOrBurstNeuron(0.4, target_duration=50),
+}
+
+
+# ---------------------------------------------------------------------------
+# Neuron advance scans
+# ---------------------------------------------------------------------------
+class TestNeuronAdvance:
+    @pytest.mark.parametrize("name", sorted(NEURON_FACTORIES))
+    def test_advance_matches_step_loop(self, name, rng):
+        make = NEURON_FACTORIES[name]
+        drive = rng.normal(0.08, 0.35, size=(21, 5, 6)).astype(np.float32)
+        reference, scanned = make(), make()
+        ref_state = reference.init_state((5, 6))
+        scan_state = scanned.init_state((5, 6))
+        expected = np.stack(
+            [reference.step(ref_state, drive[t]) for t in range(drive.shape[0])]
+        )
+        actual = scanned.advance(scan_state, drive)
+        assert actual.dtype == np.int16
+        assert np.array_equal(expected, actual)
+        assert np.array_equal(ref_state.fired, scan_state.fired)
+        assert np.array_equal(ref_state.refractory, scan_state.refractory)
+        assert np.array_equal(ref_state.burst_remaining, scan_state.burst_remaining)
+        assert ref_state.step_index == scan_state.step_index
+        np.testing.assert_allclose(
+            ref_state.membrane, scan_state.membrane, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("name", sorted(NEURON_FACTORIES))
+    @pytest.mark.parametrize("split", [1, 7, 20])
+    def test_advance_split_windows_consistent(self, name, split, rng):
+        """Chunked advance == one-shot advance (bursts crossing the seam)."""
+        make = NEURON_FACTORIES[name]
+        drive = rng.normal(0.1, 0.3, size=(21, 4)).astype(np.float32)
+        whole, chunked = make(), make()
+        whole_state = whole.init_state((4,))
+        chunk_state = chunked.init_state((4,))
+        expected = whole.advance(whole_state, drive)
+        actual = np.concatenate(
+            [chunked.advance(chunk_state, drive[:split]),
+             chunked.advance(chunk_state, drive[split:])]
+        )
+        assert np.array_equal(expected, actual)
+        assert np.array_equal(whole_state.refractory, chunk_state.refractory)
+        assert np.array_equal(
+            whole_state.burst_remaining, chunk_state.burst_remaining
+        )
+
+    def test_advance_empty_window(self):
+        neuron = TTFSNeuron(1.0)
+        state = neuron.init_state((3,))
+        spikes = neuron.advance(state, np.empty((0, 3), dtype=np.float32))
+        assert spikes.shape == (0, 3)
+        assert state.step_index == 0
+
+
+# ---------------------------------------------------------------------------
+# Simulator engine equivalence
+# ---------------------------------------------------------------------------
+def hand_built_simulator(neuron_factory, num_steps, readout_mode, rng):
+    """Two spiking layers + readout with random dense transforms."""
+    w1 = rng.normal(0.0, 0.6, size=(6, 5))
+    w2 = rng.normal(0.0, 0.6, size=(5, 4))
+    w3 = rng.normal(0.0, 0.6, size=(4, 3))
+    layers = [
+        SimulatorLayer(transform=lambda psc: psc @ w1,
+                       neuron=neuron_factory(), name="hidden0"),
+        SimulatorLayer(transform=lambda psc: psc @ w2,
+                       neuron=neuron_factory(), name="hidden1",
+                       step_bias=rng.normal(0.0, 0.01, size=(1, 4))),
+        SimulatorLayer(transform=lambda psc: psc @ w3, neuron=None, name="readout"),
+    ]
+    return TimeSteppedSimulator(
+        layers, num_steps,
+        input_kernel=np.full(num_steps, 1.0 / num_steps),
+        hidden_kernel=np.full(num_steps, 0.3),
+        readout_mode=readout_mode,
+    )
+
+
+def assert_records_match(stepped, fused, atol=1e-6):
+    assert stepped.spike_counts == fused.spike_counts
+    assert stepped.num_steps == fused.num_steps
+    np.testing.assert_allclose(
+        stepped.output_potential, fused.output_potential, atol=atol
+    )
+    assert set(stepped.spike_trains) == set(fused.spike_trains)
+    for name in stepped.spike_trains:
+        assert stepped.spike_trains[name] == fused.spike_trains[name]
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("neuron", ["if-subtract", "ttfs", "ifb"])
+    @pytest.mark.parametrize("readout_mode", ["batched", "per-step"])
+    @pytest.mark.parametrize("record_spikes", [False, True])
+    @pytest.mark.parametrize("batch", [1, 3])
+    def test_matrix_hand_built(self, neuron, readout_mode, record_spikes, batch, rng):
+        simulator = hand_built_simulator(
+            NEURON_FACTORIES[neuron], num_steps=24, readout_mode=readout_mode,
+            rng=rng,
+        )
+        coder = RateCoder(num_steps=24)
+        values = rng.random((batch, 6))
+        values[..., 0] = 0.0  # silent neurons -> whole-silent early steps
+        train = coder.encode(values)
+        stepped = simulator.run(train, record_spikes=record_spikes,
+                                backend="stepped")
+        fused = simulator.run(train, record_spikes=record_spikes, backend="fused")
+        assert_records_match(stepped, fused)
+
+    @pytest.mark.parametrize("batch", [16, 10, 1])
+    def test_converted_mlp_partial_batches(self, converted_mlp, mnist_split, batch):
+        coder = RateCoder(num_steps=32)
+        simulator = build_time_stepped_simulator(
+            converted_mlp, coder, batch_input_shape=(16, 1, 28, 28), threshold=0.1
+        )
+        encoded = coder.encode(
+            mnist_split.test.x[:batch] / converted_mlp.input_scale
+        )
+        stepped = simulator.run(encoded, record_spikes=True, backend="stepped")
+        fused = simulator.run(encoded, record_spikes=True, backend="fused")
+        assert_records_match(stepped, fused, atol=1e-5)
+        assert stepped.total_spikes() > 0
+
+    def test_converted_cnn_conv_stack(self, converted_cnn, cifar_split):
+        coder = RateCoder(num_steps=16)
+        simulator = build_time_stepped_simulator(
+            converted_cnn, coder, batch_input_shape=(4, 3, 16, 16), threshold=0.1
+        )
+        encoded = coder.encode(cifar_split.test.x[:4] / converted_cnn.input_scale)
+        stepped = simulator.run(encoded, backend="stepped")
+        fused = simulator.run(encoded, backend="fused")
+        assert_records_match(stepped, fused, atol=1e-5)
+
+    def test_all_zero_input_window(self):
+        simulator = hand_built_simulator(
+            NEURON_FACTORIES["if-subtract"], num_steps=8,
+            readout_mode="batched", rng=np.random.default_rng(0),
+        )
+        train = SpikeTrainArray.zeros(8, (2, 6))
+        stepped = simulator.run(train, backend="stepped")
+        fused = simulator.run(train, backend="fused")
+        assert_records_match(stepped, fused)
+
+    def test_zero_row_skip_matches_full_fold(self, converted_mlp, mnist_split):
+        """The sparsity skip is exercised by construction: near-zero inputs
+        leave most time rows silent, and the result must not change."""
+        coder = RateCoder(num_steps=32)
+        simulator = build_time_stepped_simulator(
+            converted_mlp, coder, batch_input_shape=(2, 1, 28, 28), threshold=0.1
+        )
+        x = np.zeros((2, 1, 28, 28), dtype=np.float32)
+        x[0, 0, 14, 14] = 0.8  # a single bright pixel -> sparse input train
+        train = coder.encode(x / converted_mlp.input_scale)
+        occupied = train.to_dense().counts.reshape(32, -1).any(axis=1)
+        assert not occupied.all(), "test needs at least one silent time row"
+        stepped = simulator.run(train, backend="stepped")
+        fused = simulator.run(train, backend="fused")
+        assert_records_match(stepped, fused, atol=1e-5)
+
+
+# ---------------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------------
+class TestBackendSelection:
+    def test_resolution_precedence(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_BACKEND", raising=False)
+        assert resolve_sim_backend() == FUSED_BACKEND
+        monkeypatch.setenv("REPRO_SIM_BACKEND", "stepped")
+        assert resolve_sim_backend() == STEPPED_BACKEND
+        set_sim_backend("fused")
+        assert resolve_sim_backend() == FUSED_BACKEND
+        assert resolve_sim_backend("stepped") == STEPPED_BACKEND
+        set_sim_backend(None)
+        assert resolve_sim_backend() == STEPPED_BACKEND
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_sim_backend("warp")
+        with pytest.raises(ValueError):
+            set_sim_backend("warp")
+        with pytest.raises(ValueError):
+            TimeSteppedSimulator(
+                [SimulatorLayer(transform=lambda x: x, neuron=None)],
+                4, np.ones(4), sim_backend="warp",
+            )
+        assert set(SIM_BACKENDS) == {"fused", "stepped"}
+
+    def test_constructor_and_run_override(self, rng):
+        simulator = hand_built_simulator(
+            NEURON_FACTORIES["if-subtract"], num_steps=12,
+            readout_mode="batched", rng=rng,
+        )
+        simulator.sim_backend = "stepped"
+        coder = RateCoder(num_steps=12)
+        train = coder.encode(rng.random((2, 6)))
+        stepped = simulator.run(train)
+        fused = simulator.run(train, backend="fused")
+        assert_records_match(stepped, fused)
+
+
+# ---------------------------------------------------------------------------
+# Segment-transform bias cache
+# ---------------------------------------------------------------------------
+class TestSegmentTransformBiasCache:
+    def test_cache_keyed_on_population_not_batch(self, converted_mlp):
+        segment = converted_mlp.segments[0]
+        transform = _SegmentTransform(
+            list(segment.inference_layers()), 1.0, 1.0
+        )
+        runs = []
+        original = transform._run
+
+        def counting_run(values):
+            runs.append(values.shape)
+            return original(values)
+
+        transform._run = counting_run
+        out_full = transform(np.zeros((16, 1, 28, 28), dtype=np.float32))
+        out_partial = transform(np.zeros((3, 1, 28, 28), dtype=np.float32))
+        # One zero-input forward total (batch 1), not one per batch size.
+        zero_runs = [shape for shape in runs if shape[0] == 1]
+        assert len(zero_runs) == 1
+        assert out_full.shape[0] == 16
+        assert out_partial.shape[0] == 3
+        np.testing.assert_allclose(out_full, 0.0, atol=1e-6)
+
+    def test_zero_preserving_contract(self, converted_mlp):
+        segment = converted_mlp.segments[0]
+        transform = _SegmentTransform(list(segment.inference_layers()), 1.0, 2.0)
+        assert transform.zero_preserving
+        out = transform(np.zeros((4, 1, 28, 28), dtype=np.float32))
+        np.testing.assert_array_equal(out, np.zeros_like(out))
+
+
+# ---------------------------------------------------------------------------
+# Faithful evaluation path
+# ---------------------------------------------------------------------------
+class TestEvaluateTimestep:
+    def test_agrees_with_transport_clean(self, converted_mlp, mnist_split):
+        coder = RateCoder(num_steps=64)
+        x, y = mnist_split.test.x[:32], mnist_split.test.y[:32]
+        faithful = evaluate_timestep(
+            converted_mlp, coder, x, y, threshold=0.1, rng=0
+        )
+        transport = evaluate_transport(converted_mlp, coder, x, y, rng=0)
+        assert abs(faithful.accuracy - transport.accuracy) <= 0.15
+        assert faithful.total_spikes > 0
+        assert 0 in faithful.spikes_per_interface
+        assert faithful.num_samples == 32
+
+    def test_fused_and_stepped_engines_agree(self, converted_mlp, mnist_split):
+        coder = RateCoder(num_steps=32)
+        x, y = mnist_split.test.x[:12], mnist_split.test.y[:12]
+        kwargs = dict(threshold=0.1, batch_size=8, rng=0)
+        fused = evaluate_timestep(
+            converted_mlp, coder, x, y, sim_backend="fused", **kwargs
+        )
+        stepped = evaluate_timestep(
+            converted_mlp, coder, x, y, sim_backend="stepped", **kwargs
+        )
+        assert fused.accuracy == stepped.accuracy
+        assert fused.total_spikes == stepped.total_spikes
+        assert fused.spikes_per_interface == stepped.spikes_per_interface
+
+    def test_deletion_removes_spikes(self, converted_mlp, mnist_split):
+        coder = RateCoder(num_steps=32)
+        x = mnist_split.test.x[:8]
+        clean = evaluate_timestep(converted_mlp, coder, x, threshold=0.1, rng=0)
+        noisy = evaluate_timestep(
+            converted_mlp, coder, x,
+            noise=NoiseInjector.from_levels(deletion_probability=0.5),
+            threshold=0.1, rng=0,
+        )
+        assert noisy.total_spikes < clean.total_spikes
+
+    def test_weight_scaling_enters_as_kernel_scale(self, converted_mlp, mnist_split):
+        coder = RateCoder(num_steps=32)
+        x = mnist_split.test.x[:8]
+        scaled = evaluate_timestep(
+            converted_mlp, coder, x,
+            noise=NoiseInjector.from_levels(deletion_probability=0.5),
+            weight_scaling=WeightScaling(mode="inverse"),
+            expected_deletion=0.5, threshold=0.1, rng=0,
+        )
+        unscaled = evaluate_timestep(
+            converted_mlp, coder, x,
+            noise=NoiseInjector.from_levels(deletion_probability=0.5),
+            threshold=0.1, rng=0,
+        )
+        # C > 1 compensates the deleted charge: more hidden spikes survive.
+        assert scaled.total_spikes > unscaled.total_spikes
+
+    def test_rejects_temporal_coders(self, converted_mlp, mnist_split):
+        from repro.coding import TTFSCoder
+
+        with pytest.raises(TypeError):
+            evaluate_timestep(
+                converted_mlp, TTFSCoder(num_steps=16), mnist_split.test.x[:4]
+            )
+
+    def test_pipeline_dispatch(self, converted_mlp, mnist_split):
+        pipeline = NoiseRobustSNN(
+            converted_mlp, coding="rate", num_steps=16,
+            weight_scaling=False, simulator="timestep",
+        )
+        result = pipeline.evaluate(
+            mnist_split.test.x[:8], mnist_split.test.y[:8], rng=0
+        )
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.total_spikes > 0
+        with pytest.raises(ValueError):
+            NoiseRobustSNN(converted_mlp, simulator="quantum")
+
+
+# ---------------------------------------------------------------------------
+# Sweep configuration / plan identity
+# ---------------------------------------------------------------------------
+class TestSweepIntegrationConfig:
+    def test_timestep_config_requires_rate_methods(self):
+        with pytest.raises(ConfigError):
+            SweepConfig(
+                dataset="mnist",
+                methods=(MethodSpec(coding="ttfs"),),
+                noise_kind="deletion",
+                levels=(0.0,),
+                scale=TEST_SCALE,
+                simulator="timestep",
+            )
+        config = SweepConfig(
+            dataset="mnist",
+            methods=(MethodSpec(coding="rate"),
+                     MethodSpec(coding="rate", weight_scaling=True)),
+            noise_kind="deletion",
+            levels=(0.0,),
+            scale=TEST_SCALE,
+            simulator="timestep",
+        )
+        assert config.simulator == "timestep"
+        with pytest.raises(ConfigError):
+            SweepConfig(
+                dataset="mnist", methods=(MethodSpec(coding="rate"),),
+                noise_kind="deletion", levels=(0.0,), scale=TEST_SCALE,
+                simulator="holodeck",
+            )
+
+    def test_filter_methods(self):
+        methods = (MethodSpec(coding="rate"), MethodSpec(coding="ttfs"),
+                   MethodSpec(coding="ttas", target_duration=5))
+        assert filter_methods(methods, None) == methods
+        picked = filter_methods(methods, ["rate", "TTAS(5)"])
+        assert [m.display_label() for m in picked] == ["Rate", "TTAS(5)"]
+        with pytest.raises(ConfigError):
+            filter_methods(methods, ["Rate", "Morse"])
+
+    def test_simulator_changes_plan_fingerprint(self, tiny_rate_workload):
+        def timestep_config():
+            return SweepConfig(
+                dataset="mnist", methods=(MethodSpec(coding="rate"),),
+                noise_kind="deletion", levels=(0.0,), scale=TEST_SCALE,
+                simulator="timestep",
+            )
+
+        config = SweepConfig(
+            dataset="mnist", methods=(MethodSpec(coding="rate"),),
+            noise_kind="deletion", levels=(0.0,), scale=TEST_SCALE,
+        )
+        transport_plan = build_sweep_plans(config)[0]
+        timestep_plan = build_sweep_plans(timestep_config())[0]
+        network_hash = network_fingerprint(tiny_rate_workload)
+        assert transport_plan.simulator == "transport"
+        assert transport_plan.sim_backend is None
+        assert timestep_plan.simulator == "timestep"
+        # The engine is resolved and *pinned into the plan* at construction,
+        # so workers (which do not share the parent's override) evaluate
+        # with exactly the engine the fingerprint was computed under.
+        assert timestep_plan.sim_backend == "fused"
+        assert (transport_plan.fingerprint(network_hash)
+                != timestep_plan.fingerprint(network_hash))
+        # Plans built under a different engine fingerprint differently:
+        # fused/stepped potentials are only float-summation-equal, so their
+        # stored results must not alias.  Transport cells are unaffected.
+        transport_fp = transport_plan.fingerprint(network_hash)
+        set_sim_backend("stepped")
+        try:
+            stepped_plan = build_sweep_plans(timestep_config())[0]
+            assert stepped_plan.sim_backend == "stepped"
+            assert (stepped_plan.fingerprint(network_hash)
+                    != timestep_plan.fingerprint(network_hash))
+            assert (build_sweep_plans(config)[0].fingerprint(network_hash)
+                    == transport_fp)
+        finally:
+            set_sim_backend(None)
+        with pytest.raises(ValueError):
+            # Engine selection is meaningless for transport cells.
+            from dataclasses import replace
+
+            replace(transport_plan, sim_backend="fused")
+
+
+@pytest.fixture(scope="module")
+def tiny_rate_workload():
+    from repro.experiments import prepare_workload
+
+    return prepare_workload("mnist", scale=TEST_SCALE, seed=0, use_cache=False)
+
+
+def rate_sweep_config(simulator):
+    return SweepConfig(
+        dataset="mnist",
+        methods=(MethodSpec(coding="rate"),),
+        noise_kind="deletion",
+        levels=(0.0, 0.5),
+        scale=TEST_SCALE,
+        seed=0,
+        batch_size=8,
+        simulator=simulator,
+    )
+
+
+class TestSweepIntegration:
+    def test_transport_vs_timestep_cells_through_process_executor(
+        self, tiny_rate_workload, tmp_path
+    ):
+        """Faithful sweep cells run on the executor engine and land in the
+        store under their own fingerprint dimension."""
+        store = ResultStore(str(tmp_path))
+        results = {}
+        for simulator in ("transport", "timestep"):
+            with ProcessExecutor(max_workers=2) as executor:
+                sweep = run_noise_sweep(
+                    rate_sweep_config(simulator),
+                    workload=tiny_rate_workload,
+                    eval_size=8,
+                    executor=executor,
+                    store=store,
+                )
+            results[simulator] = sweep
+            assert sweep.stats.evaluated_cells == 2
+            assert sweep.stats.store_writes == 2
+        # The two simulators measure different quantities: distinct store
+        # documents, both resumable.
+        assert len(store) == 4
+        for result in results.values():
+            curve = result.curves[0]
+            assert all(0.0 <= acc <= 1.0 for acc in curve.accuracies)
+            assert all(count > 0 for count in curve.spike_counts)
+
+        # Re-run: every cell served from the store, nothing evaluated.
+        rerun = run_noise_sweep(
+            rate_sweep_config("timestep"),
+            workload=tiny_rate_workload,
+            eval_size=8,
+            executor="serial",
+            store=store,
+        )
+        assert rerun.stats.evaluated_cells == 0
+        assert rerun.stats.store_hits == 2
+        assert rerun.curves[0].accuracies == results["timestep"].curves[0].accuracies
+
+    def test_timestep_cells_bit_identical_across_executors(self, tiny_rate_workload):
+        plans = build_sweep_plans(rate_sweep_config("timestep"), eval_size=8)
+        serial = evaluate_plans(
+            plans, executor="serial", workloads=None,
+        )
+        from repro.execution.plan import WorkloadRef
+
+        ref = plans[0].workload
+        assert isinstance(ref, WorkloadRef)
+        with ThreadExecutor(max_workers=2) as executor:
+            threaded = evaluate_plans(plans, executor=executor)
+        for a, b in zip(serial.results, threaded.results):
+            assert a.as_dict() == b.as_dict()
+
+
+# ---------------------------------------------------------------------------
+# Warm worker pools
+# ---------------------------------------------------------------------------
+def _square(value):
+    return value * value
+
+
+class TestWarmPools:
+    def test_pool_kept_warm_across_dispatches(self):
+        executor = ThreadExecutor(max_workers=2)
+        try:
+            assert executor._pool is None
+            first = sorted(executor.map_unordered(_square, [1, 2, 3]))
+            pool = executor._pool
+            assert pool is not None
+            second = sorted(executor.map_unordered(_square, [4, 5]))
+            assert executor._pool is pool  # same pool, no restart
+            assert [r for _, r in first] == [1, 4, 9]
+            assert [r for _, r in second] == [16, 25]
+        finally:
+            executor.close()
+        assert executor._pool is None
+        # Usable again after close: a fresh pool is started on demand.
+        assert list(executor.map(_square, [6])) == [36]
+        executor.close()
+
+    def test_process_pool_warm_reuse(self):
+        with ProcessExecutor(max_workers=2) as executor:
+            assert list(executor.map(_square, [2, 3])) == [4, 9]
+            pool = executor._pool
+            assert list(executor.map(_square, [4])) == [16]
+            assert executor._pool is pool
+        assert executor._pool is None
+
+    def test_serial_close_is_noop(self):
+        from repro.execution import SerialExecutor
+
+        with SerialExecutor() as executor:
+            assert list(executor.map(_square, [3])) == [9]
+        executor.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI plumbing
+# ---------------------------------------------------------------------------
+class TestCliPlumbing:
+    def test_simulator_and_methods_flags_parse(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["figure", "--name", "fig2", "--simulator", "timestep",
+             "--methods", "Rate"]
+        )
+        assert args.simulator == "timestep"
+        assert args.methods == ["Rate"]
+        args = parser.parse_args(["evaluate", "--coding", "rate",
+                                  "--simulator", "timestep"])
+        assert args.simulator == "timestep"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure", "--name", "fig2",
+                               "--simulator", "flux-capacitor"])
