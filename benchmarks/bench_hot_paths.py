@@ -19,7 +19,10 @@ so the performance trajectory is tracked across PRs (and gated by the CI
   end-to-end runs of a deep VGG-style conv stack and a batched MLP over a
   T=64 rate-coded window, plus the first layer's synaptic-transform and
   neuron-scan costs in isolation, with the max abs readout difference and
-  spike-count equality recorded alongside,
+  spike-count equality recorded alongside.  Temporal-coder rows
+  (``mlp_phase``, ``mlp_ttfs``, ``mlp_ttas3``) run the same batched MLP
+  through the coder-aware per-layer-window protocols (longer global
+  windows, windowed/scheduled neurons, sparse off-window drive),
 * **sweep orchestration** -- the fixed cost the execution engine adds per
   sweep cell: dispatch overhead of the serial / thread / process executor
   backends on no-op cells, and the result store's put / hit / miss cost.
@@ -91,6 +94,17 @@ TIMESTEP_SHAPE = {
 TIMESTEP_MLP_SHAPE = {
     "image": 28, "hidden": (256, 128), "batch": 8,
     "num_steps": 64, "threshold": 0.1,
+}
+
+#: Temporal coders benchmarked on the faithful simulator via their
+#: per-layer-window protocols (same batched MLP as TIMESTEP_MLP_SHAPE;
+#: window lengths follow the paper's temporal/rate ratio).  ``threshold``
+#: None = the coder's empirical default.
+TIMESTEP_TEMPORAL_CODERS = {
+    "mlp_phase": {"coding": "phase", "num_steps": 64, "threshold": None},
+    "mlp_ttfs": {"coding": "ttfs", "num_steps": 32, "threshold": None},
+    "mlp_ttas3": {"coding": "ttas", "num_steps": 32, "threshold": None,
+                  "kwargs": {"target_duration": 3}},
 }
 
 #: No-op cells per executor dispatch in the orchestration benchmark; large
@@ -244,21 +258,27 @@ def bench_timestep_sim(repeats: int) -> Dict[str, Dict[str, float]]:
     only the timings).
     """
     from repro.coding.rate import RateCoder
+    from repro.coding.registry import create_coder
     from repro.conversion.converter import convert_dnn_to_snn
     from repro.core.timestep import build_time_stepped_simulator
     from repro.nn.vgg import build_mlp, build_vgg
 
     rng = np.random.default_rng(0)
     results: Dict[str, Dict[str, float]] = {
-        "config": {**TIMESTEP_SHAPE, "mlp": dict(TIMESTEP_MLP_SHAPE,
-                                                 hidden=list(TIMESTEP_MLP_SHAPE["hidden"]))},
+        "config": {**TIMESTEP_SHAPE,
+                   "mlp": dict(TIMESTEP_MLP_SHAPE,
+                               hidden=list(TIMESTEP_MLP_SHAPE["hidden"])),
+                   "temporal": {name: dict(spec, kwargs=dict(spec.get("kwargs", {})))
+                                for name, spec in TIMESTEP_TEMPORAL_CODERS.items()}},
     }
 
-    def build(model, shape, batch, num_steps, threshold):
+    def build(model, shape, batch, coder, threshold):
         network = convert_dnn_to_snn(
             model, rng.random((32,) + shape, dtype=np.float32)
         )
-        coder = RateCoder(num_steps=num_steps)
+        return network, *instantiate(network, shape, batch, coder, threshold)
+
+    def instantiate(network, shape, batch, coder, threshold):
         simulator = build_time_stepped_simulator(
             network, coder, batch_input_shape=(batch,) + shape,
             threshold=threshold,
@@ -269,23 +289,39 @@ def bench_timestep_sim(repeats: int) -> Dict[str, Dict[str, float]]:
 
     cfg = TIMESTEP_SHAPE
     conv_shape = (cfg["channels"], cfg["image"], cfg["image"])
-    conv_sim, conv_train = build(
+    _, conv_sim, conv_train = build(
         build_vgg(cfg["config"], input_shape=conv_shape, num_classes=10, rng=0),
-        conv_shape, cfg["batch"], cfg["num_steps"], cfg["threshold"],
+        conv_shape, cfg["batch"], RateCoder(num_steps=cfg["num_steps"]),
+        cfg["threshold"],
     )
     mlp_cfg = TIMESTEP_MLP_SHAPE
     mlp_shape = (1, mlp_cfg["image"], mlp_cfg["image"])
-    mlp_sim, mlp_train = build(
+    mlp_network, mlp_sim, mlp_train = build(
         build_mlp(int(np.prod(mlp_shape)), hidden_units=mlp_cfg["hidden"],
                   num_classes=10, rng=0),
-        mlp_shape, mlp_cfg["batch"], mlp_cfg["num_steps"],
-        mlp_cfg["threshold"],
+        mlp_shape, mlp_cfg["batch"],
+        RateCoder(num_steps=mlp_cfg["num_steps"]), mlp_cfg["threshold"],
     )
 
-    for name, simulator, train in (
+    cases = [
         ("conv_stack", conv_sim, conv_train),
         ("mlp", mlp_sim, mlp_train),
-    ):
+    ]
+    # Temporal coders on the same converted MLP: the per-layer-window
+    # protocols extend the global window (one window per layer for
+    # TTFS/TTAS, one oscillator period of lag per layer for phase), so
+    # these rows track the fused engine's win on the temporal workloads the
+    # refactor opened up.
+    for name, spec in TIMESTEP_TEMPORAL_CODERS.items():
+        coder = create_coder(spec["coding"], num_steps=spec["num_steps"],
+                             **spec.get("kwargs", {}))
+        cases.append((
+            name,
+            *instantiate(mlp_network, mlp_shape, mlp_cfg["batch"], coder,
+                         spec["threshold"]),
+        ))
+
+    for name, simulator, train in cases:
         timings = {
             "stepped": _time(lambda: simulator.run(train, backend="stepped"),
                              repeats),
@@ -313,7 +349,7 @@ def bench_timestep_sim(repeats: int) -> Dict[str, Dict[str, float]]:
 
     def stepped_transform():
         for step in range(num_steps):
-            psc = counts[step].astype(np.float64) * conv_sim.input_kernel[step]
+            psc = counts[step].astype(np.float64) * conv_sim.layer_kernels[0][step]
             drive = layer.transform(psc)
             if layer.step_bias is not None:
                 drive = drive + layer.step_bias
@@ -355,7 +391,8 @@ def bench_timestep_sim(repeats: int) -> Dict[str, Dict[str, float]]:
     print(f"\ntimestep simulator ({cfg['config']} @{cfg['image']}px batch "
           f"{cfg['batch']}, T={cfg['num_steps']}; mlp batch {mlp_cfg['batch']})")
     print(f"  {'path':<22}{'stepped':>12}{'fused':>12}{'speedup':>10}")
-    for case in ("conv_stack", "mlp", "layer0_transform", "layer0_neuron_scan"):
+    for case in ("conv_stack", "mlp", *TIMESTEP_TEMPORAL_CODERS,
+                 "layer0_transform", "layer0_neuron_scan"):
         row = results[case]
         print(f"  {case:<22}{row['stepped'] * 1e3:>10.2f}ms"
               f"{row['fused'] * 1e3:>10.2f}ms"

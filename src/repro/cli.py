@@ -18,8 +18,10 @@ evaluated (dataset, method, level) cell on disk so interrupted sweeps resume
 and re-runs are incremental.  ``--spike-backend``, ``--analog-backend``,
 ``--batch-size`` and ``--simulator`` select the evaluation backends for all
 three subcommands; ``--simulator timestep`` runs the faithful time-stepped
-membrane simulation (rate coding only -- restrict a figure's curves with
-``--methods Rate``) on the fused engine by default (``REPRO_SIM_BACKEND``).
+membrane simulation (per-layer temporal protocols: rate, phase, TTFS and
+TTAS; burst has no faithful correspondence -- filter it out of a figure with
+``--methods``) on the fused engine by default (``REPRO_SIM_BACKEND``), with
+the fused fold parallelisable via ``REPRO_SIM_WORKERS``.
 """
 
 from __future__ import annotations
@@ -81,9 +83,9 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--simulator", choices=SIMULATORS, default=None,
                         help="evaluation simulator: fast activation "
                              "transport (default) or the faithful "
-                             "time-stepped membrane simulation (rate coding "
-                             "only; fused/stepped engine via "
-                             "REPRO_SIM_BACKEND)")
+                             "time-stepped membrane simulation (rate, "
+                             "phase, ttfs and ttas; fused/stepped engine "
+                             "via REPRO_SIM_BACKEND)")
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -102,8 +104,9 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
                              "cells (default: REPRO_RESULT_STORE, else off)")
     parser.add_argument("--methods", nargs="+", default=None, metavar="LABEL",
                         help="run only the curves with these display labels "
-                             "(e.g. Rate Rate+WS 'TTAS(5)+WS'); required to "
-                             "restrict a figure to rate coding for "
+                             "(e.g. Rate Phase 'TTAS(5)+WS'); labels that "
+                             "match zero curves are errors, and a figure "
+                             "containing burst curves needs this to run on "
                              "--simulator timestep")
 
 

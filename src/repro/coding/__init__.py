@@ -13,9 +13,20 @@ fifth:
 
 Use :func:`get_coder` / :func:`repro.coding.registry.create_coder` to build a
 coder by name.
+
+Each coder also publishes its faithful-simulator contract -- the per-layer
+temporal protocol of :mod:`repro.coding.protocol` -- through
+:meth:`NeuralCoder.simulation_protocol`; schemes with no faithful
+correspondence raise :class:`UnsupportedCoderError` there.
 """
 
 from repro.coding.base import CoderConfig, NeuralCoder
+from repro.coding.protocol import (
+    InterfaceProtocol,
+    SimulationProtocol,
+    UnsupportedCoderError,
+    windowed_kernel,
+)
 from repro.coding.rate import RateCoder
 from repro.coding.phase import PhaseCoder
 from repro.coding.burst import BurstCoder
@@ -27,11 +38,17 @@ from repro.coding.registry import (
     create_coder,
     get_coder,
     register_coder,
+    timestep_support,
 )
 
 __all__ = [
     "NeuralCoder",
     "CoderConfig",
+    "InterfaceProtocol",
+    "SimulationProtocol",
+    "UnsupportedCoderError",
+    "windowed_kernel",
+    "timestep_support",
     "RateCoder",
     "PhaseCoder",
     "BurstCoder",

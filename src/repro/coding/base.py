@@ -16,6 +16,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.coding.protocol import SimulationProtocol, UnsupportedCoderError
 from repro.snn.kernels import PSCKernel
 from repro.snn.neurons import SpikingNeuron
 from repro.snn.spikes import (
@@ -68,6 +69,19 @@ class NeuralCoder:
     #: Spike-train backend this coder emits when the caller does not choose
     #: one (sparse temporal codes prefer ``"events"``).
     preferred_backend: str = DENSE_BACKEND
+
+    #: Whether the scheme has a faithful per-layer correspondence in the
+    #: time-stepped simulator (see :meth:`simulation_protocol`).  Class-level
+    #: so sweep configs can validate methods by name without instantiating.
+    supports_timestep: bool = False
+
+    #: One-line statement of the correspondence (when supported) or of why
+    #: none exists (when not) -- surfaced in errors and the README support
+    #: matrix.
+    timestep_note: str = (
+        "no faithful per-layer neuron correspondence is defined for this "
+        "coding scheme"
+    )
 
     def __init__(self, num_steps: int):
         check_positive("num_steps", num_steps)
@@ -169,6 +183,32 @@ class NeuralCoder:
     def make_neuron(self, threshold: float) -> SpikingNeuron:
         """Neuron model implementing this coding in the time-stepped simulator."""
         raise NotImplementedError
+
+    def simulation_protocol(
+        self,
+        num_hidden_interfaces: int,
+        threshold: float,
+        kernel_scale: float = 1.0,
+    ) -> SimulationProtocol:
+        """Per-layer temporal protocol for a network with the given depth.
+
+        This is the faithful-simulator contract: where each spiking
+        interface's window sits on the global time grid, what PSC weight its
+        spikes carry (the coder's decode rule, applied by the downstream
+        integrators and the readout), which neuron dynamics each hidden
+        population runs, and over how many steps each segment's bias current
+        is spread.  ``kernel_scale`` multiplies every emission kernel -- the
+        faithful form of the paper's weight scaling ``W' = C W`` (spikes
+        deliver ``C`` times their nominal charge; thresholds stay unscaled).
+
+        Coders without a faithful correspondence raise
+        :class:`~repro.coding.protocol.UnsupportedCoderError` naming the
+        capability gap.
+        """
+        raise UnsupportedCoderError(
+            f"the time-stepped simulator cannot faithfully model "
+            f"{self.name} coding: {self.timestep_note}"
+        )
 
     def default_threshold(self) -> float:
         """The paper's empirical threshold for this coding scheme."""

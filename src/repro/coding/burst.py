@@ -39,6 +39,21 @@ class BurstCoder(NeuralCoder):
 
     name = "burst"
 
+    #: Honest refusal, per capability: the defining constraint of burst
+    #: coding (at most ``burst_length`` spikes per period, anchored at the
+    #: period start with geometric significance) is enforced by the
+    #: *encoder*, not by any neuron model in this repository -- the plain IF
+    #: population the coder uses for thresholds has no burst counter and
+    #: would emit a structurally different code, so a "faithful" burst
+    #: simulation would silently simulate the wrong scheme.
+    supports_timestep = False
+    timestep_note = (
+        "the bounded-burst constraint (<= burst_length spikes anchored at "
+        "each period start) is enforced by the encoder, not by a neuron "
+        "model; an IF population without a burst counter would emit a "
+        "different code, so the bridge refuses rather than approximating"
+    )
+
     def __init__(
         self,
         num_steps: int = 64,

@@ -14,11 +14,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coding.base import NeuralCoder
+from repro.coding.protocol import (
+    InterfaceProtocol,
+    SimulationProtocol,
+    windowed_kernel,
+)
 from repro.snn.kernels import PhaseKernel, PSCKernel
 from repro.snn.neurons import IFNeuron, SpikingNeuron
 from repro.snn.spikes import SpikeTrainArray
 from repro.utils.rng import RngLike
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_non_negative, check_positive
 
 
 class PhaseCoder(NeuralCoder):
@@ -35,6 +40,15 @@ class PhaseCoder(NeuralCoder):
     """
 
     name = "phase"
+
+    supports_timestep = True
+    timestep_note = (
+        "phase-aligned IF dynamics: the threshold schedule "
+        "theta * 2^-(1 + t mod K) with reset-by-subtraction performs the "
+        "greedy binary decomposition in hardware form; each hidden layer "
+        "fires one oscillator period later than its predecessor (pipeline "
+        "fill), sharing the global oscillator"
+    )
 
     def __init__(self, num_steps: int = 64, period: int = 8):
         super().__init__(num_steps)
@@ -91,3 +105,70 @@ class PhaseCoder(NeuralCoder):
 
     def make_neuron(self, threshold: float) -> SpikingNeuron:
         return IFNeuron(threshold=threshold, reset="subtract")
+
+    def simulation_protocol(
+        self,
+        num_hidden_interfaces: int,
+        threshold: float,
+        kernel_scale: float = 1.0,
+    ) -> SimulationProtocol:
+        """Phase protocol: one global oscillator, one period of lag per layer.
+
+        The input interface carries the coder's decode weights
+        (``2^-(1 + t mod K) / num_periods``, so the full window sums to the
+        encoded activation).  Every hidden layer is an IF population driven
+        by the *schedule* ``theta * 2^-(1 + t mod K)``: firing at phase
+        ``k`` subtracts ``theta * 2^-(1+k)`` and delivers exactly that
+        charge (times ``kernel_scale``) downstream -- the greedy binary
+        decomposition of the membrane, which is what the phase encoder
+        computes in closed form.  Layer ``l`` may only fire from
+        ``l * period`` on (its value needs one oscillator period per depth
+        to propagate) and gets the same number of complete periods of air
+        time as the input window; the lag is a multiple of the period, so
+        all layers stay phase-aligned on the shared oscillator.  The hidden
+        layers deliver their accumulated total once (not once per period),
+        hence no ``1/num_periods`` on their kernels.
+        """
+        check_positive("threshold", threshold)
+        check_positive("kernel_scale", kernel_scale)
+        check_non_negative("num_hidden_interfaces", num_hidden_interfaces)
+        theta = float(threshold)
+        scale = float(kernel_scale)
+        num_hidden = int(num_hidden_interfaces)
+        lag = self.period
+        total = self.num_steps + num_hidden * lag
+        weights = self.kernel.weights(total)
+        layers = [
+            InterfaceProtocol(
+                kernel=windowed_kernel(
+                    total, 0,
+                    weights[: self.num_steps] * (scale / self.num_periods),
+                ),
+                neuron=None,
+                window=(0, self.num_steps),
+            )
+        ]
+        schedule = theta * self.kernel.weights(self.period)
+        for index in range(1, num_hidden + 1):
+            start = index * lag
+            stop = start + self.num_steps
+            layers.append(
+                InterfaceProtocol(
+                    kernel=windowed_kernel(
+                        total, start,
+                        weights[start:stop] * (theta * scale),
+                    ),
+                    neuron=IFNeuron(
+                        threshold=theta,
+                        reset="subtract",
+                        threshold_schedule=schedule,
+                        fire_start=start,
+                        fire_stop=stop,
+                    ),
+                    window=(start, stop),
+                    bias_steps=stop,
+                )
+            )
+        return SimulationProtocol(
+            num_steps=total, encode_steps=self.num_steps, layers=layers
+        )

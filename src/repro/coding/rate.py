@@ -14,10 +14,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coding.base import NeuralCoder
+from repro.coding.protocol import InterfaceProtocol, SimulationProtocol
 from repro.snn.kernels import ConstantKernel, PSCKernel
 from repro.snn.neurons import IFNeuron, SpikingNeuron
 from repro.snn.spikes import SpikeTrainArray
 from repro.utils.rng import RngLike, default_rng
+from repro.utils.validation import check_non_negative, check_positive
 
 
 class RateCoder(NeuralCoder):
@@ -35,6 +37,13 @@ class RateCoder(NeuralCoder):
     """
 
     name = "rate"
+
+    supports_timestep = True
+    timestep_note = (
+        "exact: under reset-by-subtraction an IF layer's spike count times "
+        "theta equals its accumulated drive, so constant kernels over one "
+        "shared window transport activations faithfully"
+    )
 
     def __init__(self, num_steps: int = 64, stochastic: bool = False):
         super().__init__(num_steps)
@@ -70,3 +79,46 @@ class RateCoder(NeuralCoder):
 
     def make_neuron(self, threshold: float) -> SpikingNeuron:
         return IFNeuron(threshold=threshold, reset="subtract")
+
+    def simulation_protocol(
+        self,
+        num_hidden_interfaces: int,
+        threshold: float,
+        kernel_scale: float = 1.0,
+    ) -> SimulationProtocol:
+        """Rate protocol: one shared window, constant kernels.
+
+        Reproduces the historical rate-only bridge exactly -- the same
+        ``step_weights() * kernel_scale`` input kernel, the same constant
+        ``theta * kernel_scale`` hidden kernel, the same subtract-reset IF
+        neurons, biases spread over the whole window -- so results through
+        the protocol are bit-identical to the pre-protocol builder.
+        """
+        check_positive("threshold", threshold)
+        check_positive("kernel_scale", kernel_scale)
+        check_non_negative("num_hidden_interfaces", num_hidden_interfaces)
+        theta = float(threshold)
+        steps = self.num_steps
+        window = (0, steps)
+        layers = [
+            InterfaceProtocol(
+                kernel=self.step_weights() * float(kernel_scale),
+                neuron=None,
+                window=window,
+            )
+        ]
+        hidden_kernel = np.full(
+            steps, theta * float(kernel_scale), dtype=np.float64
+        )
+        for _ in range(int(num_hidden_interfaces)):
+            layers.append(
+                InterfaceProtocol(
+                    kernel=hidden_kernel,
+                    neuron=self.make_neuron(theta),
+                    window=window,
+                    bias_steps=steps,
+                )
+            )
+        return SimulationProtocol(
+            num_steps=steps, encode_steps=steps, layers=layers
+        )

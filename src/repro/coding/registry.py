@@ -9,7 +9,7 @@ coder instances.
 from __future__ import annotations
 
 import re
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Tuple
 
 from repro.coding.base import NeuralCoder
 from repro.coding.burst import BurstCoder
@@ -65,6 +65,28 @@ def create_coder(name: str, num_steps: int = 64, **kwargs) -> NeuralCoder:
     if key not in _REGISTRY:
         raise ValueError(f"unknown coder {name!r}; available: {available_coders()}")
     return _REGISTRY[key](num_steps=num_steps, **kwargs)
+
+
+def timestep_support(name: str) -> Tuple[bool, str]:
+    """Whether a coding scheme (by name) runs on the faithful simulator.
+
+    Returns ``(supported, note)`` where ``note`` states the per-layer
+    correspondence (when supported) or the capability gap (when not) --
+    resolved from the coder class's ``supports_timestep`` /
+    ``timestep_note`` attributes without instantiating it, so sweep configs
+    can validate their methods cheaply.  Accepts the same ``"ttas(k)"``
+    shorthand as :func:`create_coder`.
+    """
+    key = name.lower().strip()
+    if _TTAS_PATTERN.match(key):
+        key = "ttas"
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown coder {name!r}; available: {available_coders()}")
+    factory = _REGISTRY[key]
+    return (
+        bool(getattr(factory, "supports_timestep", False)),
+        str(getattr(factory, "timestep_note", "")),
+    )
 
 
 # ``get_coder`` is the name used throughout the examples; keep both spellings.

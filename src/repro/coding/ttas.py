@@ -27,12 +27,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coding.base import NeuralCoder
+from repro.coding.protocol import (
+    SimulationProtocol,
+    sequential_window_protocol,
+)
 from repro.coding.ttfs import TTFSCoder
 from repro.snn.kernels import ExponentialKernel, PSCKernel
 from repro.snn.neurons import IntegrateFireOrBurstNeuron, SpikingNeuron
 from repro.snn.spikes import EVENTS_BACKEND, SpikeEvents, SpikeTrainArray
 from repro.utils.rng import RngLike
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_non_negative, check_positive
 
 
 class TTASCoder(NeuralCoder):
@@ -53,6 +57,14 @@ class TTASCoder(NeuralCoder):
 
     #: At most ``t_a`` spikes per neuron: the event backend is the natural fit.
     preferred_backend = EVENTS_BACKEND
+
+    supports_timestep = True
+    timestep_note = (
+        "TTFS-style layer windows driven by the paper's IFB neuron (Eq. 4): "
+        "a burst of t_a threshold-subtracting spikes starting at the "
+        "time-to-first-spike, with the burst gain C_A = 1/G folded into the "
+        "emission kernels exactly as the paper folds it into the weights"
+    )
 
     def __init__(
         self,
@@ -129,6 +141,56 @@ class TTASCoder(NeuralCoder):
     def make_neuron(self, threshold: float) -> SpikingNeuron:
         return IntegrateFireOrBurstNeuron(
             threshold=threshold, target_duration=self.target_duration, tau=self.tau
+        )
+
+    def simulation_protocol(
+        self,
+        num_hidden_interfaces: int,
+        threshold: float,
+        kernel_scale: float = 1.0,
+    ) -> SimulationProtocol:
+        """TTAS protocol: TTFS layer windows with IFB burst dynamics.
+
+        Same sequential per-layer windows as TTFS, but each hidden
+        population is the paper's simplified IFB neuron: the first spike at
+        ``t1`` (threshold ``theta * exp(-dt/tau)`` decaying over the layer's
+        own window) is followed by ``t_a - 1`` further threshold-subtracting
+        spikes.  Each emission kernel carries ``C_A = 1/G`` so the clean
+        burst delivers ``theta * exp(-t1/tau)`` -- the same decoded value a
+        single TTFS spike would -- matching the weight-folded ``C_A`` of
+        Eq. 5.  A burst that starts near the window end keeps firing into
+        the spill region (the kernel keeps decaying there); spikes that
+        would fall past the end of the simulation are truncated, exactly as
+        the encoder truncates bursts at the window boundary.
+        """
+        check_positive("threshold", threshold)
+        check_positive("kernel_scale", kernel_scale)
+        check_non_negative("num_hidden_interfaces", num_hidden_interfaces)
+        theta = float(threshold)
+        scale = float(kernel_scale)
+        gain = self.scale_factor  # C_A = 1 / G
+        spill = self.target_duration - 1
+
+        def hidden_weights(start, stop, total):
+            # Decayed weights extended into the spill region so a burst
+            # starting near the window end keeps its per-spike charge
+            # (truncated at the global end, like the encoder's window edge).
+            span = min(stop + spill, total) - start
+            decay = np.exp(-np.arange(span, dtype=np.float64) / self.tau)
+            return decay * (theta * gain * scale)
+
+        return sequential_window_protocol(
+            self.num_steps,
+            num_hidden_interfaces,
+            input_weights=self.step_weights() * (gain * scale),
+            hidden_weights=hidden_weights,
+            hidden_neuron=lambda start, stop: IntegrateFireOrBurstNeuron(
+                threshold=theta,
+                target_duration=self.target_duration,
+                tau=self.tau,
+                fire_start=start,
+                fire_stop=stop,
+            ),
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

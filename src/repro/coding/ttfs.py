@@ -20,11 +20,19 @@ from __future__ import annotations
 import numpy as np
 
 from repro.coding.base import NeuralCoder
+from repro.coding.protocol import (
+    SimulationProtocol,
+    sequential_window_protocol,
+)
 from repro.snn.kernels import ExponentialKernel, PSCKernel
 from repro.snn.neurons import SpikingNeuron, TTFSNeuron
 from repro.snn.spikes import EVENTS_BACKEND, SpikeEvents, SpikeTrainArray
 from repro.utils.rng import RngLike
-from repro.utils.validation import check_probability
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
 
 
 class TTFSCoder(NeuralCoder):
@@ -45,6 +53,14 @@ class TTFSCoder(NeuralCoder):
 
     #: At most one spike per neuron: the event backend is the natural fit.
     preferred_backend = EVENTS_BACKEND
+
+    supports_timestep = True
+    timestep_note = (
+        "T2FSNN-style layer phases: each layer integrates its predecessor's "
+        "window, then fires (at most once) against the threshold "
+        "theta * exp(-dt/tau) decaying over its own window; the spike's "
+        "kernel weight theta * exp(-dt/tau) decodes the membrane it crossed"
+    )
 
     def __init__(self, num_steps: int = 64, min_value: float = 0.02):
         super().__init__(num_steps)
@@ -92,3 +108,40 @@ class TTFSCoder(NeuralCoder):
 
     def make_neuron(self, threshold: float) -> SpikingNeuron:
         return TTFSNeuron(threshold=threshold, tau=self.tau)
+
+    def simulation_protocol(
+        self,
+        num_hidden_interfaces: int,
+        threshold: float,
+        kernel_scale: float = 1.0,
+    ) -> SimulationProtocol:
+        """TTFS protocol: one full window per layer, laid out sequentially.
+
+        Interface ``l`` lives in window ``[l*T, (l+1)*T)``.  A hidden neuron
+        integrates its predecessor's window completely before its own window
+        opens (the causality the shared-window formulation lacks), then
+        fires once when the accumulated membrane ``u`` crosses the decaying
+        threshold ``theta * exp(-dt/tau)``; the spike's emission weight is
+        that same threshold value (times ``kernel_scale``), i.e. the largest
+        decodable value not exceeding ``u`` -- activations above ``theta``
+        saturate at ``theta``, the dynamic-threshold trade-off the paper
+        discusses.  Each segment's bias is spread over the steps *before*
+        the consuming layer's window, so the full analog bias has arrived
+        when firing decisions start.
+        """
+        check_positive("threshold", threshold)
+        check_positive("kernel_scale", kernel_scale)
+        check_non_negative("num_hidden_interfaces", num_hidden_interfaces)
+        theta = float(threshold)
+        scale = float(kernel_scale)
+        decay = self.step_weights()  # exp(-t / tau) on the window grid
+        return sequential_window_protocol(
+            self.num_steps,
+            num_hidden_interfaces,
+            input_weights=decay * scale,
+            hidden_weights=lambda start, stop, total: decay * (theta * scale),
+            hidden_neuron=lambda start, stop: TTFSNeuron(
+                threshold=theta, tau=self.tau,
+                fire_start=start, fire_stop=stop,
+            ),
+        )

@@ -168,6 +168,7 @@ def convert_dnn_to_snn(
     allow_max_pooling: bool = False,
     input_scale: Optional[float] = None,
     fuse_batch_norm: bool = True,
+    statistics: Optional[ActivationStatistics] = None,
 ) -> ConvertedSNN:
     """Convert a trained DNN classifier into a :class:`ConvertedSNN`.
 
@@ -193,6 +194,13 @@ def convert_dnn_to_snn(
         conversion time (default).  When disabled the batch-norm layers stay
         in the segments as analog inference ops -- mathematically identical
         but slower; kept for equivalence testing against the fused path.
+    statistics:
+        Pre-collected :class:`ActivationStatistics` (e.g. loaded from the
+        result store's workload-conversion cache).  When given, the
+        calibration forward passes are skipped and the provided scales are
+        used verbatim -- the caller is responsible for the statistics
+        matching the (trained, folded) model; a spiking-point count mismatch
+        is rejected.
     """
     check_positive("percentile", percentile)
     calibration_inputs = np.asarray(calibration_inputs, dtype=np.float32)
@@ -216,9 +224,15 @@ def convert_dnn_to_snn(
     if not relu_indices:
         raise ConversionError("the network has no ReLU layers to convert into spikes")
 
-    statistics = collect_activation_statistics(
-        folded, calibration_inputs, percentile=percentile
-    )
+    if statistics is None:
+        statistics = collect_activation_statistics(
+            folded, calibration_inputs, percentile=percentile
+        )
+    elif len(statistics.scales) != len(relu_indices):
+        raise ConversionError(
+            f"provided activation statistics cover {len(statistics.scales)} "
+            f"spiking points but the network has {len(relu_indices)}"
+        )
 
     segments: List[NetworkSegment] = []
     start = 0

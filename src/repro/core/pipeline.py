@@ -37,7 +37,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (execution -> pipelin
 
 #: Evaluation simulators a pipeline (and hence a sweep cell) can run on:
 #: the fast activation-transport evaluator, or the faithful time-stepped
-#: membrane simulation (rate coding only; fused/stepped engine selected via
+#: membrane simulation (any coding with a per-layer temporal protocol --
+#: rate, phase, TTFS, TTAS; fused/stepped engine selected via
 #: ``REPRO_SIM_BACKEND``).
 SIMULATORS = ("transport", "timestep")
 
@@ -192,8 +193,9 @@ class NoiseRobustSNN:
             ``REPRO_ANALOG_BACKEND`` / the strided default.
         simulator:
             ``"transport"`` (fast activation-transport evaluation, default)
-            or ``"timestep"`` (faithful membrane simulation; rate coding
-            only, fused/stepped engine via ``REPRO_SIM_BACKEND``).
+            or ``"timestep"`` (faithful membrane simulation; every coding
+            with a per-layer temporal protocol -- rate, phase, ttfs, ttas;
+            fused/stepped engine via ``REPRO_SIM_BACKEND``).
         fuse_batch_norm:
             Fold batch normalisation into the adjacent weighted layers at
             conversion time (default; see :func:`convert_dnn_to_snn`).

@@ -5,18 +5,25 @@ synaptic transforms operating on instantaneous post-synaptic currents.  This
 module builds those transforms from a :class:`ConvertedSNN`:
 
 * the analog layers of each segment are applied per step, with the bias
-  separated out and injected as a constant current spread over the window,
+  separated out and injected as a constant current over the coder's
+  per-layer bias window,
 * activations are expressed in normalised units (the calibration scales of
   the converted network are used to rescale between interfaces),
-* the hidden-layer PSC kernel is the firing threshold (a spike of an IF
-  neuron with threshold ``theta`` represents ``theta`` units of accumulated
-  drive under reset-by-subtraction).
+* the temporal layout -- each layer's firing window, the PSC kernel its
+  spikes carry, its neuron dynamics, and the readout's decode rule -- comes
+  from the coder's **per-layer simulation protocol**
+  (:meth:`repro.coding.base.NeuralCoder.simulation_protocol`): rate coding
+  keeps one shared window with constant kernels (bit-identical to the
+  historical rate-only bridge), TTFS/TTAS lay one full window per layer
+  (T2FSNN-style layer phases), and phase coding pipelines layers one
+  oscillator period apart with the phase threshold schedule.
 
-Only rate coding has an exact correspondence of this form; the builder
-therefore accepts rate coders and raises for temporal coders, whose
-step-by-step dynamics are exercised at the neuron level in the unit tests and
-at the coding level by the transport evaluator.  This keeps the faithful
-simulator honest instead of quietly approximating schemes it cannot model.
+Coders whose scheme truly has no faithful correspondence -- burst coding,
+whose bounded-burst constraint lives in the encoder, not in a neuron model
+-- raise :class:`repro.coding.protocol.UnsupportedCoderError` (a
+``TypeError``) from their protocol hook.  The refusal is per capability,
+stated in the error message, which keeps the faithful simulator honest
+without blanket-rejecting every non-rate scheme.
 """
 
 from __future__ import annotations
@@ -27,7 +34,6 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.coding.base import NeuralCoder
-from repro.coding.rate import RateCoder
 from repro.conversion.converter import ConvertedSNN, NetworkSegment
 from repro.core.transport import TransportResult
 from repro.core.weight_scaling import WeightScaling
@@ -125,36 +131,43 @@ def build_time_stepped_simulator(
     network:
         The converted network.
     coder:
-        A :class:`repro.coding.rate.RateCoder`; other coders are rejected (see
-        module docstring).
+        Any coder whose scheme has a faithful per-layer correspondence
+        (``supports_timestep``): rate, phase, TTFS and TTAS.  Coders without
+        one raise :class:`~repro.coding.protocol.UnsupportedCoderError`
+        naming the capability gap (see module docstring).
     batch_input_shape:
         Shape of the input batches that will be simulated, e.g.
         ``(batch, channels, height, width)`` -- needed to pre-compute the
         per-step bias currents (any batch size may be simulated afterwards;
         the bias images broadcast).
     threshold:
-        Firing threshold of the hidden IF neurons (defaults to the coder's
+        Firing threshold of the hidden neurons (defaults to the coder's
         empirical threshold).
     kernel_scale:
-        Multiplier applied to both PSC kernels -- the faithful form of the
+        Multiplier applied to every PSC kernel -- the faithful form of the
         paper's weight-scaling compensation ``W' = C W``: every spike
         (input and hidden) delivers ``C`` times its nominal charge, exactly
-        as scaled synaptic weights would, while the bias currents stay
-        unscaled (matching the transport evaluator, which scales only the
-        decoded activations).
+        as scaled synaptic weights would, while the bias currents and firing
+        thresholds stay unscaled (matching the transport evaluator, which
+        scales only the decoded activations).
     sim_backend:
         Simulation engine selection forwarded to the simulator
         ("fused"/"stepped"; ``None`` = the env/override default).
     """
-    if not isinstance(coder, RateCoder):
-        raise TypeError(
-            "the time-stepped builder supports rate coding only; temporal "
-            f"coders are evaluated with the transport simulator (got {coder.name})"
-        )
     check_positive("num_steps (coder)", coder.num_steps)
     check_positive("kernel_scale", kernel_scale)
     theta = float(threshold) if threshold is not None else coder.default_threshold()
     check_positive("threshold", theta)
+
+    num_hidden = sum(
+        1 for segment in network.segments if segment.ends_with_spikes
+    )
+    # The coder's per-layer temporal layout: windows, emission kernels,
+    # neuron dynamics, bias horizons.  UnsupportedCoderError (a TypeError)
+    # propagates for schemes with no faithful correspondence.
+    protocol = coder.simulation_protocol(
+        num_hidden, threshold=theta, kernel_scale=float(kernel_scale)
+    )
 
     layers: List[SimulatorLayer] = []
     scales = [network.input_scale] + [
@@ -174,23 +187,31 @@ def build_time_stepped_simulator(
             _strip_trailing_relu(segment), input_scale, output_scale
         )
         bias_image = transform.bias_image(current_shape)
-        step_bias = transform.step_bias(current_shape, coder.num_steps)
-        neuron = coder.make_neuron(theta) if segment.ends_with_spikes else None
+        if segment.ends_with_spikes:
+            out_spec = protocol.layers[interface + 1]
+            neuron = out_spec.neuron
+            bias_steps = (
+                out_spec.bias_steps
+                if out_spec.bias_steps is not None
+                else protocol.num_steps
+            )
+        else:
+            neuron = None
+            bias_steps = protocol.num_steps
         layers.append(
             SimulatorLayer(
                 transform=transform,
                 neuron=neuron,
                 name=f"segment{segment.index}",
-                step_bias=step_bias,
+                step_bias=transform.step_bias(current_shape, bias_steps),
+                in_kernel=protocol.layers[interface].kernel,
+                bias_stop=bias_steps,
             )
         )
         current_shape = current_shape[:1] + bias_image.shape[1:]
         if segment.ends_with_spikes:
             interface += 1
 
-    input_kernel = coder.step_weights() * float(kernel_scale)
-    hidden_kernel = np.full(coder.num_steps, theta * float(kernel_scale),
-                            dtype=np.float64)
     # The batched readout collapses the per-step readout GEMMs into one; it
     # is exact only for linear readout transforms.  Max pooling (allowed into
     # segments via allow_max_pooling) is the one non-linear analog op that
@@ -201,11 +222,12 @@ def build_time_stepped_simulator(
     )
     return TimeSteppedSimulator(
         layers=layers,
-        num_steps=coder.num_steps,
-        input_kernel=input_kernel,
-        hidden_kernel=hidden_kernel,
+        num_steps=protocol.num_steps,
+        input_kernel=protocol.layers[0].kernel,
+        hidden_kernel=protocol.layers[-1].kernel,
         readout_mode="batched" if readout_is_linear else "per-step",
         sim_backend=sim_backend,
+        input_steps=protocol.encode_steps,
     )
 
 
@@ -229,19 +251,25 @@ def evaluate_timestep(
     The step-by-step counterpart of
     :func:`repro.core.transport.evaluate_transport`, with the same pure
     function shape so the plan-execution engine can dispatch faithful sweep
-    cells to any worker: every hidden layer is a population of IF neurons
+    cells to any worker: every hidden layer is a population of spiking
+    neurons (IF, phase-scheduled IF, TTFS or IFB, per the coder's protocol)
     advanced through real membrane/threshold/reset dynamics (on the fused or
     stepped engine, per ``sim_backend``), not an activation transport.
 
     Faithfulness caveats, stated rather than hidden:
 
-    * rate coding only (the builder's exactness constraint; temporal coders
-      raise ``TypeError``),
+    * the coder must have a per-layer temporal protocol (rate, phase, TTFS,
+      TTAS); schemes without one -- burst -- raise
+      :class:`~repro.coding.protocol.UnsupportedCoderError` naming the gap,
     * noise corrupts the *input* spike train; the hidden-layer trains are
       generated by the neuron dynamics themselves, so per-interface
       re-encoding noise -- the transport model -- does not apply,
     * weight scaling enters as ``kernel_scale``: every spike delivers
-      ``C`` times its nominal charge, the faithful reading of ``W' = C W``.
+      ``C`` times its nominal charge, the faithful reading of ``W' = C W``,
+    * temporal protocols simulate a longer global window than the encode
+      window (one window per layer for TTFS/TTAS, one oscillator period of
+      pipeline lag per layer for phase) -- the honest latency cost of
+      layer-sequential temporal codes.
     """
     check_positive("batch_size", batch_size)
     x = np.asarray(x, dtype=np.float32)

@@ -101,8 +101,9 @@ class EvaluationPlan:
     simulator:
         Evaluation simulator of the cell: ``"transport"`` (fast
         activation-transport, default) or ``"timestep"`` (faithful
-        time-stepped membrane simulation; rate coding only).  Part of the
-        plan identity -- the two simulators measure different quantities, so
+        time-stepped membrane simulation; any coding with a per-layer
+        temporal protocol -- rate, phase, TTFS, TTAS).  Part of the plan
+        identity -- the two simulators measure different quantities, so
         their results never alias in the store.
     sim_backend:
         Simulation engine of a timestep cell ("fused"/"stepped").  Pinned at

@@ -9,6 +9,21 @@ directories to keep directory listings cheap at scale::
 
     <root>/cells/<fp[:2]>/<fingerprint>.json
 
+Alongside the cells, the store keeps **workload conversion** documents --
+the deterministic products of preparing a workload that are expensive to
+recompute but tiny to persist (activation scales, input scale, analog DNN
+accuracy), keyed by a fingerprint over (dataset, scale, seed, trained
+weights)::
+
+    <root>/workloads/<key[:2]>/<key>.json
+
+First-run multi-dataset tables prepare every workload in the parent before
+dispatching cells; with the conversion cached, a re-run (or a sweep over
+the same workloads with different methods/levels) skips the calibration
+forward passes and the analog accuracy evaluation entirely.  Same
+invalidation logic as cells: retrained weights change the key, so stale
+conversions are simply never read.
+
 Because the key is a content address, the store gives three properties for
 free:
 
@@ -131,6 +146,50 @@ class ResultStore:
         }
         if plan_description is not None:
             document["plan"] = plan_description
+        save_json(path, document, atomic=True)
+        self.stats.writes += 1
+        return path
+
+    # -- workload conversions --------------------------------------------------
+    def workload_path_for(self, key: str) -> str:
+        """Document path of a workload-conversion key (sharded like cells)."""
+        return os.path.join(self.root, "workloads", key[:2], f"{key}.json")
+
+    def get_workload_conversion(self, key: str) -> Optional[dict]:
+        """Load a stored conversion payload; ``None`` (a miss) when absent.
+
+        Same degradation contract as :meth:`get`: unreadable or malformed
+        documents are misses, so a corrupt store can only cost time (the
+        conversion is recomputed), never correctness.
+        """
+        path = self.workload_path_for(key)
+        try:
+            document = load_json(path)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError) as error:
+            logger.warning(
+                "ignoring unreadable workload document %s (%s)", path, error
+            )
+            self.stats.misses += 1
+            return None
+        payload = document.get("conversion") if isinstance(document, dict) else None
+        if not isinstance(payload, dict):
+            logger.warning("ignoring malformed workload document %s", path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put_workload_conversion(self, key: str, payload: dict) -> str:
+        """Persist a conversion payload atomically; returns the path written."""
+        path = self.workload_path_for(key)
+        document = {
+            "version": STORE_VERSION,
+            "key": key,
+            "conversion": dict(payload),
+        }
         save_json(path, document, atomic=True)
         self.stats.writes += 1
         return path

@@ -225,10 +225,12 @@ class SweepConfig:
     simulator:
         Evaluation simulator of every cell: ``"transport"`` (fast
         activation-transport, default) or ``"timestep"`` (faithful
-        time-stepped membrane simulation).  The faithful simulator models
-        rate coding exactly and nothing else, so a timestep sweep must use
-        rate-coded methods only (filter a figure's methods with
-        ``--methods`` / :func:`filter_methods`).
+        time-stepped membrane simulation).  The faithful simulator runs
+        every coding with a per-layer temporal protocol -- rate, phase,
+        TTFS and TTAS; only schemes without a faithful correspondence
+        (burst) are rejected, with the capability gap named in the error
+        (filter those out of a figure with ``--methods`` /
+        :func:`filter_methods`).
     """
 
     dataset: str
@@ -255,15 +257,21 @@ class SweepConfig:
         check_positive("batch_size", self.batch_size)
         validate_choice("simulator", self.simulator, SIMULATORS)
         if self.simulator == "timestep":
-            unsupported = sorted(
-                {m.coding for m in self.methods if m.coding != "rate"}
-            )
-            if unsupported:
+            # Per-capability validation: each coding scheme declares whether
+            # it has a faithful per-layer protocol, and why (not).
+            from repro.coding.registry import timestep_support
+
+            problems = []
+            for coding in sorted({m.coding for m in self.methods}):
+                supported, note = timestep_support(coding)
+                if not supported:
+                    problems.append(f"{coding}: {note}")
+            if problems:
                 raise ConfigError(
-                    "the timestep simulator models rate coding exactly and "
-                    f"nothing else; drop the {unsupported} method(s) (e.g. "
-                    "restrict the sweep with --methods Rate) or use "
-                    "simulator='transport'"
+                    "the timestep simulator cannot faithfully model every "
+                    "requested method -- " + "; ".join(problems) + " -- "
+                    "drop those method(s) (e.g. restrict the sweep with "
+                    "--methods) or use simulator='transport'"
                 )
 
 
@@ -272,14 +280,22 @@ def filter_methods(
 ) -> Tuple[MethodSpec, ...]:
     """Restrict a method list to the given display labels (case-insensitive).
 
-    ``None``/empty keeps every method.  Unknown labels are errors naming the
-    available ones, so a typo cannot silently drop a curve.  Used by the
-    ``--methods`` CLI flag to run a subset of a figure's curves -- e.g. only
-    the rate-coded ones, which is what the faithful timestep simulator
-    supports.
+    ``None`` keeps every method.  A selection that matches zero curves is an
+    error, never a silent empty sweep: unknown labels raise naming the
+    available ones (a typo cannot drop a curve), and an explicitly empty
+    label list raises instead of degenerating to "all" or "none".  Used by
+    the ``--methods`` CLI flag to run a subset of a figure's curves -- e.g.
+    only the ones the faithful timestep simulator models.
     """
-    if not labels:
+    if labels is None:
         return tuple(methods)
+    labels = list(labels)
+    if not labels:
+        raise ConfigError(
+            "the method filter matched zero curves: an empty label list "
+            "selects nothing; omit the filter to keep every method "
+            f"(available: {[m.display_label() for m in methods]})"
+        )
     by_label = {method.display_label().lower(): method for method in methods}
     selected = []
     unknown = []

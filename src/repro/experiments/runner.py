@@ -18,10 +18,10 @@ interrupted sweeps resumable and re-runs incremental.
 
 Cells evaluate on the simulator their config selects
 (``SweepConfig(simulator=...)``): the fast activation-transport evaluator
-(default) or the faithful time-stepped membrane simulation
-(``"timestep"``, rate-coded methods only) -- the choice travels inside
-every plan and is part of its store fingerprint, so the two kinds of
-results never alias.
+(default) or the faithful time-stepped membrane simulation (``"timestep"``;
+every coding with a per-layer temporal protocol -- rate, phase, TTFS, TTAS)
+-- the choice travels inside every plan and is part of its store
+fingerprint, so the two kinds of results never alias.
 """
 
 from __future__ import annotations
@@ -44,7 +44,7 @@ from repro.execution.executors import (
     resolve_worker_count,
 )
 from repro.execution.plan import WorkloadRef, build_sweep_plans
-from repro.execution.store import ResultStore
+from repro.execution.store import ResultStore, resolve_store
 from repro.experiments.config import MethodSpec, SweepConfig
 from repro.experiments.workloads import PreparedWorkload, prepare_workload
 from repro.utils.logging import get_logger
@@ -267,6 +267,9 @@ def run_sweeps(
     # returning; a caller-provided Executor instance keeps its pool warm
     # across calls and stays the caller's responsibility to close.
     owns_backend = not isinstance(executor, Executor)
+    # Resolve the store once: workload preparation reads/writes its
+    # conversion cache, and the engine serves/persists cell results on it.
+    result_store = resolve_store(store)
     prepared: Dict[WorkloadRef, PreparedWorkload] = {}
     plans = []
     spans: List[int] = []
@@ -296,7 +299,7 @@ def run_sweeps(
         if ref not in prepared:
             workload = provided or prepare_workload(
                 config.dataset, scale=config.scale, seed=config.seed,
-                use_cache=use_cache,
+                use_cache=use_cache, store=result_store,
             )
             prepared[ref] = workload
             # Seed the process-local registry so serial/thread backends (and
@@ -313,7 +316,10 @@ def run_sweeps(
 
     try:
         evaluation = evaluate_plans(
-            plans, executor=backend, max_workers=max_workers, store=store,
+            plans, executor=backend, max_workers=max_workers,
+            # Already resolved; False keeps a disabled selection disabled
+            # (None would re-consult the environment).
+            store=result_store if result_store is not None else False,
             workloads=prepared,
         )
     finally:

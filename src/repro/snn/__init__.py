@@ -49,10 +49,13 @@ from repro.snn.simulator import (
     SIM_BACKENDS,
     STEPPED_BACKEND,
     SimulationRecord,
+    SimulatorLayer,
     TimeSteppedSimulator,
     get_sim_backend,
     resolve_sim_backend,
+    resolve_sim_workers,
     set_sim_backend,
+    set_sim_workers,
 )
 
 __all__ = [
@@ -78,6 +81,7 @@ __all__ = [
     "empirical_threshold",
     "balance_thresholds",
     "TimeSteppedSimulator",
+    "SimulatorLayer",
     "SimulationRecord",
     "FUSED_BACKEND",
     "STEPPED_BACKEND",
@@ -85,4 +89,6 @@ __all__ = [
     "resolve_sim_backend",
     "set_sim_backend",
     "get_sim_backend",
+    "resolve_sim_workers",
+    "set_sim_workers",
 ]

@@ -17,6 +17,15 @@ Three models are provided:
   a threshold-subtracting burst of ``target_duration`` spikes starting at the
   first spike time, and an infinite reset afterwards.  This is the neuron
   that generates TTAS spike trains.
+
+Every model supports a **firing window** (``fire_start``/``fire_stop``): the
+membrane integrates its drive at every step, but spikes may only *start*
+inside the window, and time-dependent dynamics (the TTFS/IFB threshold
+decay, the phase threshold schedule) are measured from the window start.
+This is what lets one coder lay its layers out in per-layer temporal windows
+(T2FSNN-style layer phases, phase-coding pipeline lags) while the defaults
+-- ``fire_start=0``, ``fire_stop=None`` -- keep every neuron bit-identical
+to its un-windowed behaviour.
 """
 
 from __future__ import annotations
@@ -79,6 +88,19 @@ class NeuronState:
         )
 
 
+def _validate_fire_window(fire_start: int, fire_stop: Optional[int]) -> Tuple[int, Optional[int]]:
+    """Validate a ``[fire_start, fire_stop)`` firing window."""
+    start = int(fire_start)
+    if start < 0:
+        raise ValueError(f"fire_start must be >= 0, got {fire_start}")
+    stop = None if fire_stop is None else int(fire_stop)
+    if stop is not None and stop <= start:
+        raise ValueError(
+            f"fire_stop ({fire_stop}) must exceed fire_start ({fire_start})"
+        )
+    return start, stop
+
+
 class SpikingNeuron:
     """Base class for vectorised spiking neuron models."""
 
@@ -134,6 +156,17 @@ class IFNeuron(SpikingNeuron):
         When True a neuron whose membrane exceeds ``k * threshold`` emits
         ``k`` spikes in the same step (used by burst-capable layers); when
         False at most one spike per step is emitted.
+    threshold_schedule:
+        Optional 1-D array of *absolute* per-step thresholds, applied
+        periodically (``theta(t) = schedule[t mod len(schedule)]``).  This is
+        the phase-coding neuron of Kim et al. (2018): with the schedule
+        ``theta * 2^-(1 + t mod K)`` and reset-by-subtraction, the spike
+        pattern is exactly the greedy binary decomposition of the membrane.
+        ``None`` (default) keeps the constant ``threshold``.
+    fire_start / fire_stop:
+        Firing window ``[fire_start, fire_stop)``: outside it the membrane
+        integrates but no spikes are emitted (and nothing is subtracted).
+        Defaults cover the whole simulation, i.e. today's behaviour.
     """
 
     def __init__(
@@ -141,6 +174,9 @@ class IFNeuron(SpikingNeuron):
         threshold: float = 1.0,
         reset: str = "subtract",
         allow_multiple_spikes: bool = False,
+        threshold_schedule: Optional[np.ndarray] = None,
+        fire_start: int = 0,
+        fire_stop: Optional[int] = None,
     ):
         check_positive("threshold", threshold)
         if reset not in ("subtract", "zero"):
@@ -148,17 +184,53 @@ class IFNeuron(SpikingNeuron):
         self.threshold = float(threshold)
         self.reset = reset
         self.allow_multiple_spikes = bool(allow_multiple_spikes)
+        if threshold_schedule is None:
+            self.threshold_schedule = None
+        else:
+            schedule = np.asarray(threshold_schedule, dtype=np.float64)
+            if schedule.ndim != 1 or schedule.size == 0:
+                raise ValueError(
+                    "threshold_schedule must be a non-empty 1-D array, got "
+                    f"shape {schedule.shape}"
+                )
+            if np.any(schedule <= 0.0):
+                raise ValueError("threshold_schedule values must be positive")
+            schedule.setflags(write=False)
+            self.threshold_schedule = schedule
+        self.fire_start, self.fire_stop = _validate_fire_window(fire_start, fire_stop)
+
+    def threshold_at(self, step: int) -> float:
+        """Threshold in effect at global time step ``step``.
+
+        The schedule is indexed by absolute time (``step mod period``), so
+        layers sharing one global oscillator stay phase-aligned regardless of
+        their per-layer firing windows.
+        """
+        if self.threshold_schedule is not None:
+            return float(
+                self.threshold_schedule[step % self.threshold_schedule.shape[0]]
+            )
+        return self.threshold
+
+    def _fireable(self, step: int) -> bool:
+        """Whether spikes may be emitted at global time step ``step``."""
+        if step < self.fire_start:
+            return False
+        return self.fire_stop is None or step < self.fire_stop
 
     def step(self, state: NeuronState, input_current: np.ndarray) -> np.ndarray:
         state.membrane += input_current
-        if self.allow_multiple_spikes:
+        theta = self.threshold_at(state.step_index)
+        if not self._fireable(state.step_index):
+            spikes = np.zeros(state.membrane.shape, dtype=np.int16)
+        elif self.allow_multiple_spikes:
             spikes = np.floor_divide(
-                np.maximum(state.membrane, 0.0), self.threshold
+                np.maximum(state.membrane, 0.0), theta
             ).astype(np.int16)
         else:
-            spikes = (state.membrane >= self.threshold).astype(np.int16)
+            spikes = (state.membrane >= theta).astype(np.int16)
         if self.reset == "subtract":
-            state.membrane -= spikes * self.threshold
+            state.membrane -= spikes * theta
         else:
             state.membrane = np.where(spikes > 0, 0.0, state.membrane)
         state.fired |= spikes > 0
@@ -177,6 +249,11 @@ class IFNeuron(SpikingNeuron):
         (``x - theta`` where a spike fired, exactly the value ``step``'s
         ``x - 1 * theta`` produces), and the ``fired`` flag -- an OR over
         the window -- is folded into one pass at the end.
+
+        The same loop serves the scheduled / windowed variants: the per-step
+        threshold comes from :meth:`threshold_at` (a scalar, exactly the
+        value :meth:`step` compares against) and steps outside the firing
+        window integrate without comparing at all.
         """
         drive = np.asarray(drive)
         num_steps = drive.shape[0]
@@ -186,11 +263,15 @@ class IFNeuron(SpikingNeuron):
             return super().advance(state, drive)
         spikes = np.empty(drive.shape, dtype=np.int16)
         membrane = state.membrane
-        threshold = self.threshold
+        start_step = state.step_index
         subtract = self.reset == "subtract"
         crossed = np.empty(membrane.shape, dtype=bool)
         for t in range(num_steps):
             np.add(membrane, drive[t], out=membrane)
+            if not self._fireable(start_step + t):
+                spikes[t] = 0
+                continue
+            threshold = self.threshold_at(start_step + t)
             np.greater_equal(membrane, threshold, out=crossed)
             spikes[t] = crossed
             if subtract:
@@ -213,20 +294,43 @@ class TTFSNeuron(SpikingNeuron):
     the discrete version of the T2FSNN dynamic threshold: a weakly driven
     neuron eventually crosses the falling threshold and fires late, encoding a
     small activation.
+
+    With a firing window ``[fire_start, fire_stop)`` the decay is measured
+    from the window start and the threshold is infinite outside the window:
+    the membrane integrates its (earlier-window) input freely and the single
+    spike can only happen inside the layer's own temporal window -- the
+    T2FSNN layer-phase scheme the TTFS/TTAS coders build their per-layer
+    protocols on.  Defaults reproduce the un-windowed neuron exactly.
     """
 
-    def __init__(self, threshold: float = 1.0, tau: Optional[float] = None):
+    def __init__(
+        self,
+        threshold: float = 1.0,
+        tau: Optional[float] = None,
+        fire_start: int = 0,
+        fire_stop: Optional[int] = None,
+    ):
         check_positive("threshold", threshold)
         if tau is not None:
             check_positive("tau", tau)
         self.threshold = float(threshold)
         self.tau = float(tau) if tau is not None else None
+        self.fire_start, self.fire_stop = _validate_fire_window(fire_start, fire_stop)
 
     def threshold_at(self, step: int) -> float:
-        """Dynamic threshold value at time step ``step``."""
+        """Dynamic threshold value at time step ``step``.
+
+        Infinite outside the firing window (no finite membrane can cross, so
+        the same comparison gates both the per-step loop and the vectorised
+        scan); inside, the decay runs from the window start.
+        """
+        if step < self.fire_start:
+            return float("inf")
+        if self.fire_stop is not None and step >= self.fire_stop:
+            return float("inf")
         if self.tau is None:
             return self.threshold
-        return self.threshold * float(np.exp(-step / self.tau))
+        return self.threshold * float(np.exp(-(step - self.fire_start) / self.tau))
 
     def step(self, state: NeuronState, input_current: np.ndarray) -> np.ndarray:
         state.membrane += input_current
@@ -284,6 +388,15 @@ class IntegrateFireOrBurstNeuron(SpikingNeuron):
     uses for TTAS coding: a group of ``target_duration`` spikes starting at
     the time-to-first-spike, then silence.  The model is implementable with a
     counter and a gate, as the paper notes.
+
+    A firing window ``[fire_start, fire_stop)`` constrains where a burst may
+    *start*: the threshold decay is measured from ``fire_start`` (infinite
+    before it, so no first spike can happen while the membrane is still
+    integrating an earlier layer's window), and no new burst begins at or
+    after ``fire_stop`` -- but a burst started inside the window keeps firing
+    (and keeps subtracting the decaying threshold) past its end, exactly as
+    the counter-and-gate hardware model would.  Defaults reproduce the
+    un-windowed neuron exactly.
     """
 
     def __init__(
@@ -291,6 +404,8 @@ class IntegrateFireOrBurstNeuron(SpikingNeuron):
         threshold: float = 1.0,
         target_duration: int = 3,
         tau: Optional[float] = None,
+        fire_start: int = 0,
+        fire_stop: Optional[int] = None,
     ):
         check_positive("threshold", threshold)
         check_positive("target_duration", target_duration)
@@ -299,12 +414,22 @@ class IntegrateFireOrBurstNeuron(SpikingNeuron):
         self.threshold = float(threshold)
         self.target_duration = int(target_duration)
         self.tau = float(tau) if tau is not None else None
+        self.fire_start, self.fire_stop = _validate_fire_window(fire_start, fire_stop)
 
     def threshold_at(self, step: int) -> float:
-        """Dynamic threshold value at time step ``step`` (same form as TTFS)."""
+        """Dynamic threshold value at time step ``step`` (same form as TTFS).
+
+        Infinite before the firing window (a burst cannot exist there, so
+        the infinity never reaches a subtraction); past ``fire_stop`` the
+        *finite* decayed value is still returned because a burst that
+        started inside the window subtracts it while spilling over -- new
+        first spikes after the window are gated separately.
+        """
+        if step < self.fire_start:
+            return float("inf")
         if self.tau is None:
             return self.threshold
-        return self.threshold * float(np.exp(-step / self.tau))
+        return self.threshold * float(np.exp(-(step - self.fire_start) / self.tau))
 
     def step(self, state: NeuronState, input_current: np.ndarray) -> np.ndarray:
         state.membrane += input_current
@@ -313,6 +438,8 @@ class IntegrateFireOrBurstNeuron(SpikingNeuron):
         bursting = state.burst_remaining > 0
         eligible = (~state.fired) & (~state.refractory)
         first_spike = eligible & (state.membrane >= theta)
+        if self.fire_stop is not None and state.step_index >= self.fire_stop:
+            first_spike &= False
 
         spikes = (first_spike | bursting).astype(np.int16)
 
@@ -357,6 +484,11 @@ class IntegrateFireOrBurstNeuron(SpikingNeuron):
         thetas_col = thetas.reshape((num_steps,) + (1,) * pop_ndim)
         eligible = (~state.fired) & (~state.refractory)
         crossed = (trajectory >= thetas_col) & eligible
+        if self.fire_stop is not None:
+            # No new burst may start at or past fire_stop (bursts already
+            # running keep spilling; they ride on burst_remaining below).
+            allowed = state.step_index + np.arange(num_steps) < self.fire_stop
+            crossed &= allowed.reshape((num_steps,) + (1,) * pop_ndim)
         fires = crossed.any(axis=0)
         first = crossed.argmax(axis=0)
         step_index = np.arange(num_steps).reshape((num_steps,) + (1,) * pop_ndim)
@@ -370,8 +502,12 @@ class IntegrateFireOrBurstNeuron(SpikingNeuron):
         spikes = burst.astype(np.int16)
 
         # eta(t) = theta(t) during every burst step: one summed subtraction.
+        # Steps before the firing window carry an infinite threshold but can
+        # never hold a burst; substitute 0 there so inf * 0 stays out of the
+        # contraction (with no window the values pass through unchanged).
+        finite_thetas = np.where(np.isfinite(thetas), thetas, 0.0)
         subtracted = (
-            thetas @ burst.reshape(num_steps, -1).astype(np.float64)
+            finite_thetas @ burst.reshape(num_steps, -1).astype(np.float64)
         ).reshape(state.membrane.shape)
         state.membrane = trajectory[-1] - subtracted
         state.burst_remaining = np.where(

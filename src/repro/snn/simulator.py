@@ -28,11 +28,29 @@ Engine selection mirrors the spike-train backends: an explicit ``run``
 argument wins, then the constructor argument, then the
 :func:`set_sim_backend` process override, then the ``REPRO_SIM_BACKEND``
 environment variable, then the fused default.
+
+Layers may carry **per-layer incoming kernels** and **firing/bias windows**
+(:class:`SimulatorLayer.in_kernel` / ``bias_stop``): this is how the
+coder-aware temporal protocols (:mod:`repro.coding.protocol`) lay the layers
+of TTFS/TTAS/phase networks out on a shared global time grid.  Layers
+without their own kernel fall back to the simulator-wide
+``input_kernel``/``hidden_kernel`` pair, which keeps the historical
+rate-coded construction (and its results) bit-identical.
+
+The fused engine's cache-chunked fold is embarrassingly parallel across
+chunks; set ``REPRO_SIM_WORKERS`` (or :func:`set_sim_workers`) to fan the
+chunk transforms of :meth:`TimeSteppedSimulator._fused_layer_drive` out over
+a process-wide warm thread pool (numpy releases the GIL inside the
+GEMM/im2col calls).  The default of 1 keeps the fold serial; results are
+bit-identical at any worker count because every chunk writes a disjoint
+slice of the drive tensor.
 """
 
 from __future__ import annotations
 
 import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -95,6 +113,70 @@ def resolve_sim_backend(requested: Optional[str] = None) -> str:
         return _validate_sim_backend(env)
     return FUSED_BACKEND
 
+
+#: Environment variable sizing the fused-fold worker pool (default 1:
+#: serial fold; 0 or negative: one worker per CPU).
+SIM_WORKERS_ENV = "REPRO_SIM_WORKERS"
+
+_SIM_WORKERS_OVERRIDE: Optional[int] = None
+_SIM_POOL: Optional[ThreadPoolExecutor] = None
+_SIM_POOL_WORKERS: int = 0
+_SIM_POOL_LOCK = threading.Lock()
+
+
+def set_sim_workers(workers: Optional[int]) -> None:
+    """Set (or clear, with ``None``) the process-wide fused-fold worker count.
+
+    Sits between the environment variable and the default of 1, mirroring
+    the other backend overrides.  Shrinks/grows take effect on the next
+    fold (the previous pool is drained and released).
+    """
+    global _SIM_WORKERS_OVERRIDE
+    _SIM_WORKERS_OVERRIDE = None if workers is None else int(workers)
+
+
+def resolve_sim_workers() -> int:
+    """Resolve how many threads the fused fold may use.
+
+    Precedence: :func:`set_sim_workers` override, then ``REPRO_SIM_WORKERS``,
+    then 1 (serial).  Values <= 0 mean one worker per CPU.  The fold is
+    CPU-bound numpy, so -- as with the sweep pools -- more workers than
+    physical cores oversubscribes; the single-core-container default is 1.
+    """
+    workers = _SIM_WORKERS_OVERRIDE
+    if workers is None:
+        env = os.environ.get(SIM_WORKERS_ENV, "").strip()
+        try:
+            workers = int(env) if env else 1
+        except ValueError:
+            raise ValueError(
+                f"{SIM_WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    workers = int(workers)
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def _fold_pool(workers: int) -> ThreadPoolExecutor:
+    """Process-wide warm thread pool for the fused fold.
+
+    Kept alive across simulator runs (the same amortisation the sweep
+    executors apply to their pools); resized lazily when the requested
+    worker count changes.
+    """
+    global _SIM_POOL, _SIM_POOL_WORKERS
+    with _SIM_POOL_LOCK:
+        if _SIM_POOL is None or _SIM_POOL_WORKERS != workers:
+            if _SIM_POOL is not None:
+                _SIM_POOL.shutdown(wait=True)
+            _SIM_POOL = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-sim-fold"
+            )
+            _SIM_POOL_WORKERS = workers
+        return _SIM_POOL
+
+
 #: A synaptic transform maps an instantaneous post-synaptic-current vector of
 #: the previous layer to the input current of this layer (i.e. applies
 #: ``W x + b_step`` for dense layers, the convolution for conv layers, ...).
@@ -118,12 +200,25 @@ class SimulatorLayer:
     step_bias:
         Optional constant current injected every step (per-neuron bias spread
         over the time window).
+    in_kernel:
+        Optional per-step PSC weights (length ``num_steps``) applied to the
+        spikes *entering* this layer -- the emission kernel of the previous
+        interface under a per-layer temporal protocol.  ``None`` falls back
+        to the simulator-wide ``input_kernel`` (first layer) or
+        ``hidden_kernel`` (later layers).
+    bias_stop:
+        Inject ``step_bias`` only during the first ``bias_stop`` steps
+        (``None`` = every step).  Temporal protocols use this to deliver a
+        segment's full analog bias before -- or while -- its consumer layer
+        fires, instead of trickling it over windows the layer never reads.
     """
 
     transform: SynapticTransform
     neuron: Optional[SpikingNeuron]
     name: str = "layer"
     step_bias: Optional[np.ndarray] = None
+    in_kernel: Optional[np.ndarray] = None
+    bias_stop: Optional[int] = None
 
 
 @dataclass
@@ -186,6 +281,11 @@ class TimeSteppedSimulator:
         Simulation engine ("fused" or "stepped"); ``None`` (default) defers
         to the :func:`resolve_sim_backend` precedence chain
         (override > ``REPRO_SIM_BACKEND`` > fused).
+    input_steps:
+        Length of the input spike trains handed to :meth:`run` (default:
+        ``num_steps``).  Per-layer temporal protocols simulate a global
+        window longer than the encode window; input trains are zero-padded
+        up to ``num_steps`` (no spikes arrive outside the encode window).
     """
 
     READOUT_MODES = ("batched", "per-step")
@@ -198,6 +298,7 @@ class TimeSteppedSimulator:
         hidden_kernel: Optional[np.ndarray] = None,
         readout_mode: str = "batched",
         sim_backend: Optional[str] = None,
+        input_steps: Optional[int] = None,
     ):
         check_positive("num_steps", num_steps)
         if not layers:
@@ -221,6 +322,25 @@ class TimeSteppedSimulator:
             if hidden_kernel is not None
             else self.input_kernel
         )
+        if input_steps is None:
+            self.input_steps = self.num_steps
+        else:
+            check_positive("input_steps", input_steps)
+            if int(input_steps) > self.num_steps:
+                raise ValueError(
+                    f"input_steps ({input_steps}) cannot exceed "
+                    f"num_steps ({self.num_steps})"
+                )
+            self.input_steps = int(input_steps)
+        #: Kernel applied to the spikes entering each layer: the layer's own
+        #: ``in_kernel`` when set, else the simulator-wide input/hidden pair
+        #: (which keeps the historical construction bit-identical).
+        self.layer_kernels: List[np.ndarray] = [
+            self._check_kernel(layer.in_kernel)
+            if layer.in_kernel is not None
+            else (self.input_kernel if index == 0 else self.hidden_kernel)
+            for index, layer in enumerate(self.layers)
+        ]
 
     def _check_kernel(self, kernel: np.ndarray) -> np.ndarray:
         kernel = np.asarray(kernel, dtype=np.float64)
@@ -253,11 +373,20 @@ class TimeSteppedSimulator:
             back to the constructor argument / process override / env.
         """
         input_spikes = input_spikes.to_dense()
-        if input_spikes.num_steps != self.num_steps:
+        if input_spikes.num_steps != self.input_steps:
             raise ValueError(
                 f"input spike train has {input_spikes.num_steps} steps, "
-                f"simulator expects {self.num_steps}"
+                f"simulator expects {self.input_steps}"
             )
+        if input_spikes.num_steps < self.num_steps:
+            # Per-layer protocols simulate past the encode window; no input
+            # spikes exist there, so the train extends with silent steps.
+            counts = input_spikes.counts
+            padded = np.zeros(
+                (self.num_steps,) + counts.shape[1:], dtype=counts.dtype
+            )
+            padded[: counts.shape[0]] = counts
+            input_spikes = SpikeTrainArray(padded, copy=False)
         batch_shape = input_spikes.population_shape
         if not batch_shape:
             raise ValueError("input spike train must include a batch dimension")
@@ -285,7 +414,7 @@ class TimeSteppedSimulator:
         for step in range(self.num_steps):
             current_psc = (
                 input_spikes.counts[step].astype(np.float64)
-                * self.input_kernel[step]
+                * self.layer_kernels[0][step]
             )
             for index, layer in enumerate(self.layers):
                 if layer.neuron is None and batched_readout:
@@ -298,7 +427,9 @@ class TimeSteppedSimulator:
                     current_psc = None
                     break
                 drive = layer.transform(current_psc)
-                if layer.step_bias is not None:
+                if layer.step_bias is not None and (
+                    layer.bias_stop is None or step < layer.bias_stop
+                ):
                     drive = drive + layer.step_bias
                 if layer.neuron is None:
                     if output_potential is None:
@@ -312,13 +443,20 @@ class TimeSteppedSimulator:
                 spike_counts[layer.name] += int(spikes.sum())
                 if record_spikes:
                     recorded.setdefault(layer.name, []).append(spikes.copy())
-                current_psc = spikes.astype(np.float64) * self.hidden_kernel[step]
+                current_psc = (
+                    spikes.astype(np.float64) * self.layer_kernels[index + 1][step]
+                )
 
         if batched_readout and readout_psc is not None:
             readout = self.layers[-1]
             output_potential = np.asarray(readout.transform(readout_psc))
             if readout.step_bias is not None:
-                output_potential = output_potential + readout_steps * readout.step_bias
+                bias_steps = (
+                    readout_steps
+                    if readout.bias_stop is None
+                    else min(readout_steps, int(readout.bias_stop))
+                )
+                output_potential = output_potential + bias_steps * readout.step_bias
 
         if output_potential is None:
             raise RuntimeError("simulation finished without reaching the readout layer")
@@ -383,8 +521,15 @@ class TimeSteppedSimulator:
           occupancy scan.
 
         The values are exact w.r.t. the stepped engine: each chunk row sees
-        ``transform(count * kernel[t]) + step_bias`` computed with the same
-        dtypes and operation order as the per-step loop.
+        ``transform(count * kernel[t])`` computed with the same dtypes and
+        operation order as the per-step loop, and the step bias is added to
+        each biased time row exactly once afterwards.
+
+        When ``REPRO_SIM_WORKERS`` (or :func:`set_sim_workers`) asks for
+        more than one worker, the chunk transforms after the probe are
+        dispatched over the process-wide warm fold pool: chunks are
+        embarrassingly parallel (disjoint output slices, GIL-releasing numpy
+        inside), so the results stay bit-identical at any worker count.
         """
         num_steps, batch = counts.shape[0], counts.shape[1]
         population = counts.shape[2:]
@@ -408,43 +553,64 @@ class TimeSteppedSimulator:
 
         def transformed(rows) -> np.ndarray:
             psc = flat_counts[rows].astype(np.float64) * row_kernel[rows]
-            out = np.asarray(layer.transform(psc))
+            return np.asarray(layer.transform(psc))
+
+        def finish(drive: np.ndarray) -> np.ndarray:
+            window = drive.reshape((num_steps, batch) + drive.shape[1:])
             if layer.step_bias is not None:
-                out = out + layer.step_bias
-            return out
+                # One bias addition per biased time row -- the same single
+                # ``transform + bias`` float add the stepped loop performs,
+                # restricted to the layer's bias window.
+                stop = (
+                    num_steps
+                    if layer.bias_stop is None
+                    else min(int(layer.bias_stop), num_steps)
+                )
+                window[:stop] += layer.step_bias
+            return window
 
         if active is not None and active.size == 0:
             # Whole window silent: probe one zero row for the output shape;
-            # every row carries the bare bias current.
+            # every row carries at most the bare bias current.
             out = np.asarray(
                 layer.transform(np.zeros((1,) + population, dtype=np.float64))
             )
-            if layer.step_bias is not None:
-                out = out + layer.step_bias
-            drive = np.empty((total,) + out.shape[1:], dtype=out.dtype)
-            drive[...] = 0.0 if layer.step_bias is None else layer.step_bias
-            return drive.reshape((num_steps, batch) + drive.shape[1:])
+            drive = np.zeros((total,) + out.shape[1:], dtype=out.dtype)
+            return finish(drive)
 
         if active is None:
             # Dense window: contiguous slice chunks, no gather/scatter.
             probe = transformed(slice(0, min(rows_per_chunk, total)))
             drive = np.empty((total,) + probe.shape[1:], dtype=probe.dtype)
             drive[:probe.shape[0]] = probe
-            for start in range(rows_per_chunk, total, rows_per_chunk):
-                chunk = slice(start, min(start + rows_per_chunk, total))
-                drive[chunk] = transformed(chunk)
-            return drive.reshape((num_steps, batch) + drive.shape[1:])
+            chunks = [
+                slice(start, min(start + rows_per_chunk, total))
+                for start in range(rows_per_chunk, total, rows_per_chunk)
+            ]
+        else:
+            probe = transformed(active[:min(rows_per_chunk, active.size)])
+            drive = np.empty((total,) + probe.shape[1:], dtype=probe.dtype)
+            # Silent rows carry zero drive (the transform of a zero PSC is
+            # zero); their bias current, if any, is added in finish().
+            drive[...] = 0.0
+            drive[active[:probe.shape[0]]] = probe
+            chunks = [
+                active[start:start + rows_per_chunk]
+                for start in range(rows_per_chunk, active.size, rows_per_chunk)
+            ]
 
-        probe = transformed(active[:min(rows_per_chunk, active.size)])
-        drive = np.empty((total,) + probe.shape[1:], dtype=probe.dtype)
-        # Silent rows carry exactly the constant bias current (the
-        # transform of a zero PSC is zero).
-        drive[...] = 0.0 if layer.step_bias is None else layer.step_bias
-        drive[active[:probe.shape[0]]] = probe
-        for start in range(rows_per_chunk, active.size, rows_per_chunk):
-            chunk = active[start:start + rows_per_chunk]
-            drive[chunk] = transformed(chunk)
-        return drive.reshape((num_steps, batch) + drive.shape[1:])
+        def fill(rows) -> None:
+            drive[rows] = transformed(rows)
+
+        workers = resolve_sim_workers()
+        if workers > 1 and len(chunks) > 1:
+            # Disjoint slices: chunks scatter into the preallocated drive
+            # tensor concurrently; list() propagates the first exception.
+            list(_fold_pool(workers).map(fill, chunks))
+        else:
+            for rows in chunks:
+                fill(rows)
+        return finish(drive)
 
     def _run_fused(
         self,
@@ -462,12 +628,12 @@ class TimeSteppedSimulator:
         only.
         """
         counts = input_spikes.counts
-        kernel = self.input_kernel
         spike_counts: Dict[str, int] = {layer.name: 0 for layer in self.layers}
         recorded: Dict[str, SpikeTrainArray] = {}
         output_potential: Optional[np.ndarray] = None
 
-        for layer in self.layers:
+        for index, layer in enumerate(self.layers):
+            kernel = self.layer_kernels[index]
             if layer.neuron is None:
                 if self.readout_mode == "batched":
                     # Linear readout: the per-step weighted sums collapse
@@ -476,8 +642,13 @@ class TimeSteppedSimulator:
                     psc = np.einsum("t,t...->...", kernel, counts)
                     output_potential = np.asarray(layer.transform(psc))
                     if layer.step_bias is not None:
+                        bias_steps = (
+                            self.num_steps
+                            if layer.bias_stop is None
+                            else min(int(layer.bias_stop), self.num_steps)
+                        )
                         output_potential = (
-                            output_potential + self.num_steps * layer.step_bias
+                            output_potential + bias_steps * layer.step_bias
                         )
                 else:
                     # Non-linear readout: transform every (step, sample) row
@@ -492,7 +663,6 @@ class TimeSteppedSimulator:
             if record_spikes:
                 recorded[layer.name] = SpikeTrainArray(spikes, copy=False)
             counts = spikes
-            kernel = self.hidden_kernel
 
         if output_potential is None:
             raise RuntimeError("simulation finished without reaching the readout layer")

@@ -302,10 +302,20 @@ class TestEvaluateTimestep:
         assert 0 in faithful.spikes_per_interface
         assert faithful.num_samples == 32
 
-    def test_fused_and_stepped_engines_agree(self, converted_mlp, mnist_split):
-        coder = RateCoder(num_steps=32)
+    @pytest.mark.parametrize("coding,num_steps,threshold", [
+        ("rate", 32, 0.1),
+        ("phase", 16, None),
+        ("ttfs", 8, None),
+        ("ttas", 8, None),
+    ])
+    def test_fused_and_stepped_engines_agree(
+        self, converted_mlp, mnist_split, coding, num_steps, threshold
+    ):
+        from repro.coding import create_coder
+
+        coder = create_coder(coding, num_steps=num_steps)
         x, y = mnist_split.test.x[:12], mnist_split.test.y[:12]
-        kwargs = dict(threshold=0.1, batch_size=8, rng=0)
+        kwargs = dict(threshold=threshold, batch_size=8, rng=0)
         fused = evaluate_timestep(
             converted_mlp, coder, x, y, sim_backend="fused", **kwargs
         )
@@ -344,13 +354,16 @@ class TestEvaluateTimestep:
         # C > 1 compensates the deleted charge: more hidden spikes survive.
         assert scaled.total_spikes > unscaled.total_spikes
 
-    def test_rejects_temporal_coders(self, converted_mlp, mnist_split):
-        from repro.coding import TTFSCoder
+    def test_rejects_unfaithful_coders(self, converted_mlp, mnist_split):
+        from repro.coding import BurstCoder, UnsupportedCoderError
 
-        with pytest.raises(TypeError):
+        with pytest.raises(UnsupportedCoderError):
             evaluate_timestep(
-                converted_mlp, TTFSCoder(num_steps=16), mnist_split.test.x[:4]
+                converted_mlp, BurstCoder(num_steps=16), mnist_split.test.x[:4]
             )
+        # The refusal is a TypeError subclass: pre-protocol callers that
+        # guarded the rate-only bridge keep working.
+        assert issubclass(UnsupportedCoderError, TypeError)
 
     def test_pipeline_dispatch(self, converted_mlp, mnist_split):
         pipeline = NoiseRobustSNN(
@@ -370,20 +383,25 @@ class TestEvaluateTimestep:
 # Sweep configuration / plan identity
 # ---------------------------------------------------------------------------
 class TestSweepIntegrationConfig:
-    def test_timestep_config_requires_rate_methods(self):
-        with pytest.raises(ConfigError):
+    def test_timestep_config_validates_per_capability(self):
+        # Burst has no faithful correspondence; the error names the gap.
+        with pytest.raises(ConfigError, match="burst"):
             SweepConfig(
                 dataset="mnist",
-                methods=(MethodSpec(coding="ttfs"),),
+                methods=(MethodSpec(coding="burst"),),
                 noise_kind="deletion",
                 levels=(0.0,),
                 scale=TEST_SCALE,
                 simulator="timestep",
             )
+        # Every coding with a per-layer protocol is accepted.
         config = SweepConfig(
             dataset="mnist",
             methods=(MethodSpec(coding="rate"),
-                     MethodSpec(coding="rate", weight_scaling=True)),
+                     MethodSpec(coding="rate", weight_scaling=True),
+                     MethodSpec(coding="phase"),
+                     MethodSpec(coding="ttfs"),
+                     MethodSpec(coding="ttas", target_duration=3)),
             noise_kind="deletion",
             levels=(0.0,),
             scale=TEST_SCALE,
@@ -405,6 +423,10 @@ class TestSweepIntegrationConfig:
         assert [m.display_label() for m in picked] == ["Rate", "TTAS(5)"]
         with pytest.raises(ConfigError):
             filter_methods(methods, ["Rate", "Morse"])
+        # A selection matching zero curves is an error, never a silent
+        # empty (or silently complete) sweep.
+        with pytest.raises(ConfigError, match="zero curves"):
+            filter_methods(methods, [])
 
     def test_simulator_changes_plan_fingerprint(self, tiny_rate_workload):
         def timestep_config():
@@ -524,6 +546,57 @@ class TestSweepIntegration:
             threaded = evaluate_plans(plans, executor=executor)
         for a, b in zip(serial.results, threaded.results):
             assert a.as_dict() == b.as_dict()
+
+    def test_temporal_methods_through_every_executor_and_store(
+        self, tiny_rate_workload, tmp_path
+    ):
+        """The acceptance path: a temporal figure sweep on the faithful
+        simulator through serial, thread and process executors plus the
+        result store, with identical results everywhere."""
+        config = SweepConfig(
+            dataset="mnist",
+            methods=(MethodSpec(coding="ttfs"), MethodSpec(coding="phase")),
+            noise_kind="deletion",
+            levels=(0.0, 0.5),
+            scale=TEST_SCALE,
+            seed=0,
+            batch_size=8,
+            simulator="timestep",
+        )
+        store = ResultStore(str(tmp_path))
+        baseline = run_noise_sweep(
+            config, workload=tiny_rate_workload, eval_size=8,
+            executor="serial", store=store,
+        )
+        assert baseline.stats.evaluated_cells == 4
+        assert [c.label for c in baseline.curves] == ["TTFS", "Phase"]
+        for curve in baseline.curves:
+            assert all(0.0 <= acc <= 1.0 for acc in curve.accuracies)
+            assert all(count > 0 for count in curve.spike_counts)
+        for executor_factory in (
+            lambda: ThreadExecutor(max_workers=2),
+            lambda: ProcessExecutor(max_workers=2),
+        ):
+            with executor_factory() as executor:
+                rerun = run_noise_sweep(
+                    config, workload=tiny_rate_workload, eval_size=8,
+                    executor=executor, store=store,
+                )
+            # Every cell served from the store (resume), values identical.
+            assert rerun.stats.evaluated_cells == 0
+            assert rerun.stats.store_hits == 4
+            for base_curve, rerun_curve in zip(baseline.curves, rerun.curves):
+                assert base_curve.accuracies == rerun_curve.accuracies
+                assert base_curve.spike_counts == rerun_curve.spike_counts
+        # Without the store the pooled backends recompute identically.
+        with ProcessExecutor(max_workers=2) as executor:
+            fresh = run_noise_sweep(
+                config, workload=tiny_rate_workload, eval_size=8,
+                executor=executor, store=False,
+            )
+        for base_curve, fresh_curve in zip(baseline.curves, fresh.curves):
+            assert base_curve.accuracies == fresh_curve.accuracies
+            assert base_curve.spike_counts == fresh_curve.spike_counts
 
 
 # ---------------------------------------------------------------------------

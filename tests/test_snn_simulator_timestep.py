@@ -77,12 +77,26 @@ class TestTimeSteppedSimulator:
 
 
 class TestBuildTimeSteppedSimulator:
-    def test_rejects_non_rate_coders(self, converted_mlp):
+    def test_rejects_unfaithful_coders(self, converted_mlp):
+        # Burst coding's bounded-burst constraint lives in the encoder, not
+        # in a neuron model: no faithful correspondence, so the bridge
+        # refuses (per capability, as a TypeError subclass).
+        from repro.coding import BurstCoder
+
         with pytest.raises(TypeError):
             build_time_stepped_simulator(
-                converted_mlp, TTFSCoder(num_steps=16),
+                converted_mlp, BurstCoder(num_steps=16),
                 batch_input_shape=(4, 1, 28, 28),
             )
+
+    def test_accepts_temporal_coders(self, converted_mlp):
+        simulator = build_time_stepped_simulator(
+            converted_mlp, TTFSCoder(num_steps=16),
+            batch_input_shape=(4, 1, 28, 28),
+        )
+        # One full window per layer: 2 hidden interfaces + the input window.
+        assert simulator.num_steps == 48
+        assert simulator.input_steps == 16
 
     def test_agrees_with_analog_predictions(self, converted_mlp, mnist_split):
         coder = RateCoder(num_steps=64)
