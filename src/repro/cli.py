@@ -22,12 +22,20 @@ membrane simulation (per-layer temporal protocols: rate, phase, TTFS and
 TTAS; burst has no faithful correspondence -- filter it out of a figure with
 ``--methods``) on the fused engine by default (``REPRO_SIM_BACKEND``), with
 the fused fold parallelisable via ``REPRO_SIM_WORKERS``.
+
+Hardware-fault sweeps are exposed as extra figure/table names (``fault-dead``,
+``fault-stuck``, ``fault-burst``; ``table3-dead`` etc.), and single-condition
+fault evaluations via ``evaluate --dead/--stuck/--burst-error``.  Per-cell
+fault tolerance (retry with backoff, timeouts) is controlled by the
+``REPRO_CELL_RETRIES`` and ``REPRO_CELL_TIMEOUT`` environment variables;
+failed cells render as explicit ``--`` holes instead of aborting the sweep.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from functools import partial
 from typing import List, Optional, Sequence
 
 from repro.experiments import (
@@ -37,10 +45,12 @@ from repro.experiments import (
     figure6_ttas_jitter,
     figure7_deletion_comparison,
     figure8_jitter_comparison,
+    figure_fault_robustness,
     format_figure_series,
     format_table_rows,
     table1_deletion,
     table2_jitter,
+    table3_faults,
 )
 from repro.execution.executors import EXECUTOR_NAMES
 from repro.experiments.config import BENCH_SCALE, TEST_SCALE, ExperimentScale
@@ -56,11 +66,18 @@ _FIGURES = {
     "fig6": figure6_ttas_jitter,
     "fig7": figure7_deletion_comparison,
     "fig8": figure8_jitter_comparison,
+    # Hardware-fault robustness sweeps (beyond the paper's figures).
+    "fault-dead": partial(figure_fault_robustness, fault_kind="dead"),
+    "fault-stuck": partial(figure_fault_robustness, fault_kind="stuck"),
+    "fault-burst": partial(figure_fault_robustness, fault_kind="burst_error"),
 }
 
 _TABLES = {
     "table1": table1_deletion,
     "table2": table2_jitter,
+    "table3-dead": partial(table3_faults, fault_kind="dead"),
+    "table3-stuck": partial(table3_faults, fault_kind="stuck"),
+    "table3-burst": partial(table3_faults, fault_kind="burst_error"),
 }
 
 
@@ -127,7 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_arguments(figure)
     _add_backend_arguments(figure)
 
-    table = sub.add_parser("table", help="regenerate Table I or II")
+    table = sub.add_parser("table", help="regenerate Table I/II or the fault table")
     table.add_argument("--name", choices=sorted(_TABLES), required=True)
     table.add_argument("--datasets", nargs="+", default=["mnist", "cifar10", "cifar100"])
     table.add_argument("--scale", choices=("bench", "test"), default="bench")
@@ -144,6 +161,13 @@ def build_parser() -> argparse.ArgumentParser:
                           help="TTAS burst duration t_a")
     evaluate.add_argument("--deletion", type=float, default=0.0)
     evaluate.add_argument("--jitter", type=float, default=0.0)
+    evaluate.add_argument("--dead", type=float, default=0.0,
+                          help="fraction of neurons stuck-at-silent")
+    evaluate.add_argument("--stuck", type=float, default=0.0,
+                          help="fraction of neurons stuck-at-firing")
+    evaluate.add_argument("--burst-error", type=float, default=0.0,
+                          help="fraction of the time window deleted as one "
+                               "contiguous burst error")
     evaluate.add_argument("--weight-scaling", action="store_true")
     evaluate.add_argument("--scale", choices=("bench", "test"), default="bench")
     evaluate.add_argument("--eval-size", type=int, default=None)
@@ -196,6 +220,7 @@ def _run_evaluate(args: argparse.Namespace) -> str:
     x, y = workload.evaluation_slice(args.eval_size)
     result = pipeline.evaluate(
         x, y, deletion=args.deletion, jitter=args.jitter,
+        dead=args.dead, stuck=args.stuck, burst_error=args.burst_error,
         batch_size=args.batch_size if args.batch_size is not None else 16,
         rng=args.seed,
     )
@@ -205,6 +230,8 @@ def _run_evaluate(args: argparse.Namespace) -> str:
         f"coding             : {result.coding}"
         + (f" (t_a={args.duration})" if args.coding == "ttas" else ""),
         f"noise              : deletion={result.deletion:g} jitter={result.jitter:g}",
+        f"faults             : dead={args.dead:g} stuck={args.stuck:g} "
+        f"burst_error={args.burst_error:g}",
         f"weight scaling     : C={result.weight_scaling_factor:.3f}",
         f"SNN accuracy       : {result.accuracy * 100:.1f}%",
         f"spikes per sample  : {result.spikes_per_sample:,.0f}",

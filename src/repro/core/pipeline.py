@@ -266,6 +266,9 @@ class NoiseRobustSNN:
         expected_deletion: Optional[float] = None,
         batch_size: int = 16,
         rng: RngLike = None,
+        dead: float = 0.0,
+        stuck: float = 0.0,
+        burst_error: float = 0.0,
     ) -> EvaluationResult:
         """Evaluate the SNN under the given noise levels.
 
@@ -285,12 +288,26 @@ class NoiseRobustSNN:
             Transport-evaluation batch size.
         rng:
             Seed or generator for the stochastic noise.
+        dead / stuck / burst_error:
+            Hardware-fault levels (extension): fraction of dead
+            (stuck-at-silent) neurons, fraction of stuck-at-fire neurons,
+            and fraction of the time window lost to a correlated burst
+            error.  On the transport evaluator the faults corrupt every
+            interface train; on the faithful timestep evaluator dead/stuck
+            masks are additionally applied inside the simulator to each
+            spiking layer's emitted spikes (burst errors hit the input
+            train, the only place a transmission window exists).
         """
         check_probability("deletion", deletion)
         check_non_negative("jitter", jitter)
+        check_probability("dead", dead)
+        check_probability("stuck", stuck)
+        check_probability("burst_error", burst_error)
         coder = self.make_coder()
         noise = NoiseInjector.from_levels(
-            deletion_probability=deletion, jitter_sigma=jitter
+            deletion_probability=deletion, jitter_sigma=jitter,
+            burst_error_fraction=burst_error,
+            dead_fraction=dead, stuck_fraction=stuck,
         )
         scaling = self.make_weight_scaling()
         assumed = deletion if expected_deletion is None else expected_deletion
@@ -309,7 +326,7 @@ class NoiseRobustSNN:
         )
         if self.simulator == "timestep":
             result: TransportResult = evaluate_timestep(
-                sim_backend=self.sim_backend, **kwargs
+                sim_backend=self.sim_backend, dead=dead, stuck=stuck, **kwargs
             )
         else:
             result = evaluate_transport(**kwargs)

@@ -40,7 +40,7 @@ from repro.core.weight_scaling import WeightScaling
 from repro.nn.layers import Layer, MaxPool2D, ReLU
 from repro.nn.layers import analog_backend as analog_backend_scope
 from repro.noise.base import SpikeNoise
-from repro.snn.simulator import SimulatorLayer, TimeSteppedSimulator
+from repro.snn.simulator import LayerFaultMask, SimulatorLayer, TimeSteppedSimulator
 from repro.utils.rng import RngLike, default_rng, derive_rng
 from repro.utils.validation import check_positive
 
@@ -245,6 +245,8 @@ def evaluate_timestep(
     threshold: Optional[float] = None,
     batch_size: int = 16,
     rng: RngLike = None,
+    dead: float = 0.0,
+    stuck: float = 0.0,
 ) -> TransportResult:
     """Evaluate a converted network with the faithful time-stepped simulator.
 
@@ -263,7 +265,11 @@ def evaluate_timestep(
       :class:`~repro.coding.protocol.UnsupportedCoderError` naming the gap,
     * noise corrupts the *input* spike train; the hidden-layer trains are
       generated by the neuron dynamics themselves, so per-interface
-      re-encoding noise -- the transport model -- does not apply,
+      re-encoding noise -- the transport model -- does not apply.  The
+      exception is the persistent circuit faults (``dead`` / ``stuck``):
+      a broken neuron circuit corrupts its *own* output spikes, so those
+      masks are drawn per spiking layer and applied to the emitted spikes
+      inside the simulator, gated by each layer's protocol fire window,
     * weight scaling enters as ``kernel_scale``: every spike delivers
       ``C`` times its nominal charge, the faithful reading of ``W' = C W``,
     * temporal protocols simulate a longer global window than the encode
@@ -308,7 +314,21 @@ def evaluate_timestep(
             )
             if noise is not None:
                 train = noise.apply(train, rng=derive_rng(generator, "noise", 0))
-            record = simulator.run(train)
+            layer_faults = None
+            if dead > 0.0 or stuck > 0.0:
+                # One persistent mask per spiking layer per batch, on streams
+                # keyed like the transport evaluator's per-interface noise.
+                # The derivations only happen when a fault is enabled, so the
+                # clean path consumes the exact same RNG sequence as before.
+                layer_faults = {
+                    name: LayerFaultMask(
+                        dead_fraction=dead,
+                        stuck_fraction=stuck,
+                        rng=derive_rng(generator, "fault", interface),
+                    )
+                    for interface, name in enumerate(spiking_layers, start=1)
+                }
+            record = simulator.run(train, layer_faults=layer_faults)
             if labels is not None:
                 batch_labels = labels[start:start + int(batch_size)]
                 correct += int((record.predictions == batch_labels).sum())

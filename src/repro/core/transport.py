@@ -5,7 +5,10 @@ spiking interface the (non-negative) activations are
 
 1. normalised by the interface's calibration scale,
 2. encoded into spike trains by the chosen coder,
-3. corrupted by the noise model (deletion and/or jitter),
+3. corrupted by the noise model -- transmission noise (deletion, jitter)
+   and/or hardware faults (dead neurons, stuck-at-firing, burst errors;
+   :mod:`repro.noise.faults`) -- every model drawing from its own RNG
+   stream derived per interface,
 4. decoded back into post-synaptic current,
 5. multiplied by the weight-scaling factor ``C``,
 6. pushed through the next analog segment.

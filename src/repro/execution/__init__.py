@@ -14,13 +14,19 @@ and runs batches of plans through a pluggable :class:`Executor` backend
 """
 
 from repro.execution.engine import (
+    CELL_RETRIES_ENV,
+    CELL_TIMEOUT_ENV,
     CellEvaluationError,
+    CellFailure,
     ExecutionStats,
     PlanEvaluation,
+    evaluate_cell_tolerant,
     evaluate_plans,
     execute_cell,
     network_hash_for,
     register_workload,
+    resolve_cell_retries,
+    resolve_cell_timeout,
     workload_for,
 )
 from repro.execution.executors import (
@@ -68,9 +74,15 @@ __all__ = [
     "resolve_store",
     "RESULT_STORE_ENV",
     "CellEvaluationError",
+    "CellFailure",
+    "CELL_RETRIES_ENV",
+    "CELL_TIMEOUT_ENV",
+    "resolve_cell_retries",
+    "resolve_cell_timeout",
     "ExecutionStats",
     "PlanEvaluation",
     "evaluate_plans",
+    "evaluate_cell_tolerant",
     "execute_cell",
     "register_workload",
     "workload_for",

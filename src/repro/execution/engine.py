@@ -22,9 +22,13 @@ workloads already known then.
 
 from __future__ import annotations
 
+import os
 import threading
+import time
+import traceback
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Union
+from functools import partial
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.pipeline import EvaluationResult
 from repro.execution.executors import Executor, resolve_executor
@@ -80,24 +84,58 @@ class CellEvaluationError(RuntimeError):
     """A sweep cell failed; carries the cell identity across workers.
 
     A bare exception surfacing out of a worker pool gives no clue *which*
-    (dataset, method, level) cell died.  This wrapper names the cell and the
-    original error, and -- because it reconstructs from positional ``args``
-    -- survives pickling across process boundaries intact.
+    (dataset, method, level) cell died.  This wrapper names the cell, the
+    original error, the formatted remote traceback (``remote_traceback``,
+    captured where the cell actually ran) and how many attempts were made --
+    and, because it reconstructs from positional ``args``, survives pickling
+    across process boundaries intact.
     """
 
     def __init__(self, dataset: str, method: str, noise_kind: str,
-                 level: float, cause: str):
-        super().__init__(dataset, method, noise_kind, level, cause)
+                 level: float, cause: str, remote_traceback: str = "",
+                 attempts: int = 1):
+        super().__init__(dataset, method, noise_kind, level, cause,
+                         remote_traceback, attempts)
         self.dataset = dataset
         self.method = method
         self.noise_kind = noise_kind
         self.level = level
         self.cause = cause
+        self.remote_traceback = remote_traceback
+        self.attempts = attempts
 
     def __str__(self) -> str:
+        suffix = f" (after {self.attempts} attempts)" if self.attempts > 1 else ""
         return (
             f"sweep cell {self.dataset}/{self.method} "
-            f"{self.noise_kind}={self.level:g} failed: {self.cause}"
+            f"{self.noise_kind}={self.level:g} failed: {self.cause}{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """A cell that exhausted its retry budget, recorded instead of raised.
+
+    Under fault-tolerant execution a failed cell degrades the sweep instead
+    of aborting it: the failure takes the cell's slot in
+    :attr:`PlanEvaluation.results` and downstream assembly renders it as an
+    explicit hole (NaN accuracy).  Plain data, hence trivially picklable on
+    the way back from a worker.
+    """
+
+    dataset: str
+    method: str
+    noise_kind: str
+    level: float
+    message: str
+    remote_traceback: str = ""
+    attempts: int = 1
+
+    def to_error(self) -> CellEvaluationError:
+        """Reconstruct the exception this failure swallowed."""
+        return CellEvaluationError(
+            self.dataset, self.method, self.noise_kind, self.level,
+            self.message, self.remote_traceback, self.attempts,
         )
 
 
@@ -110,6 +148,7 @@ class ExecutionStats:
     evaluated_cells: int = 0
     store_hits: int = 0
     store_writes: int = 0
+    failed_cells: int = 0
 
     def as_dict(self) -> Dict[str, Union[str, int]]:
         return {
@@ -118,15 +157,30 @@ class ExecutionStats:
             "evaluated_cells": self.evaluated_cells,
             "store_hits": self.store_hits,
             "store_writes": self.store_writes,
+            "failed_cells": self.failed_cells,
         }
 
 
 @dataclass
 class PlanEvaluation:
-    """Results of a batch of plans, in plan order, plus statistics."""
+    """Results of a batch of plans, in plan order, plus statistics.
 
-    results: List[EvaluationResult]
+    Under fault-tolerant execution a slot may hold a :class:`CellFailure`
+    instead of an :class:`~repro.core.pipeline.EvaluationResult`; use
+    :attr:`failures` to enumerate them.
+    """
+
+    results: List[Union[EvaluationResult, CellFailure]]
     stats: ExecutionStats = field(default_factory=lambda: ExecutionStats("serial"))
+
+    @property
+    def failures(self) -> List[Tuple[int, CellFailure]]:
+        """The failed cells, as (plan index, failure) pairs."""
+        return [
+            (index, result)
+            for index, result in enumerate(self.results)
+            if isinstance(result, CellFailure)
+        ]
 
 
 def register_workload(ref: WorkloadRef, workload: "PreparedWorkload") -> None:
@@ -201,7 +255,7 @@ def execute_cell(plan: EvaluationPlan) -> EvaluationResult:
     except Exception as error:
         raise CellEvaluationError(
             plan.dataset, plan.method_label, plan.noise_kind, float(plan.level),
-            f"{type(error).__name__}: {error}",
+            f"{type(error).__name__}: {error}", traceback.format_exc(),
         ) from error
     logger.info(
         "%s | %s %s=%.2f -> acc=%.3f spikes/sample=%.0f",
@@ -211,12 +265,133 @@ def execute_cell(plan: EvaluationPlan) -> EvaluationResult:
     return result
 
 
+#: Environment variable: per-cell retry budget under fault-tolerant
+#: execution (0 = disabled, the default -- errors propagate like before).
+CELL_RETRIES_ENV = "REPRO_CELL_RETRIES"
+
+#: Environment variable: per-cell timeout in seconds (unset/<= 0 = no
+#: timeout).
+CELL_TIMEOUT_ENV = "REPRO_CELL_TIMEOUT"
+
+#: First retry delay in seconds; doubles per attempt up to the cap.
+RETRY_BACKOFF_BASE = 0.1
+RETRY_BACKOFF_CAP = 5.0
+
+
+def resolve_cell_retries(retries: Optional[int] = None) -> int:
+    """Resolve the per-cell retry budget (argument > env > 0)."""
+    if retries is None:
+        env = os.environ.get(CELL_RETRIES_ENV, "").strip()
+        try:
+            retries = int(env) if env else 0
+        except ValueError:
+            raise ValueError(
+                f"{CELL_RETRIES_ENV} must be an integer, got {env!r}"
+            ) from None
+    return max(int(retries), 0)
+
+
+def resolve_cell_timeout(timeout: Optional[float] = None) -> Optional[float]:
+    """Resolve the per-cell timeout in seconds (argument > env > off)."""
+    if timeout is None:
+        env = os.environ.get(CELL_TIMEOUT_ENV, "").strip()
+        try:
+            timeout = float(env) if env else None
+        except ValueError:
+            raise ValueError(
+                f"{CELL_TIMEOUT_ENV} must be a number of seconds, got {env!r}"
+            ) from None
+    if timeout is None or timeout <= 0:
+        return None
+    return float(timeout)
+
+
+def _run_cell_with_timeout(
+    plan: EvaluationPlan, timeout: Optional[float]
+) -> EvaluationResult:
+    """Run one cell, bounding its wall-clock time.
+
+    The evaluation runs on a daemon thread: numpy has no safe preemption
+    point, so on timeout the computation is *abandoned*, not cancelled --
+    its thread keeps running to completion in the background while the
+    worker moves on.  The timeout therefore bounds how long a hung cell can
+    stall the sweep, not the worker's total CPU use.
+    """
+    if timeout is None:
+        return execute_cell(plan)
+    outcome: Dict[str, object] = {}
+
+    def _target() -> None:
+        try:
+            outcome["result"] = execute_cell(plan)
+        except BaseException as error:  # noqa: BLE001 - relayed to caller
+            outcome["error"] = error
+
+    worker = threading.Thread(
+        target=_target, name=f"repro-cell-{plan.cell_id()}", daemon=True
+    )
+    worker.start()
+    worker.join(timeout)
+    if worker.is_alive():
+        raise CellEvaluationError(
+            plan.dataset, plan.method_label, plan.noise_kind, float(plan.level),
+            f"timed out after {timeout:g}s (computation abandoned)",
+        )
+    if "error" in outcome:
+        raise outcome["error"]  # type: ignore[misc]
+    return outcome["result"]  # type: ignore[return-value]
+
+
+def evaluate_cell_tolerant(
+    plan: EvaluationPlan,
+    retries: int = 0,
+    timeout: Optional[float] = None,
+    backoff: float = RETRY_BACKOFF_BASE,
+) -> Union[EvaluationResult, CellFailure]:
+    """Fault-tolerant work item: retry with capped exponential backoff.
+
+    Transient failures (and timeouts) are retried up to ``retries`` times;
+    a cell that exhausts the budget returns a :class:`CellFailure` instead
+    of raising, so one bad cell degrades the sweep to an explicit hole
+    rather than aborting the whole run.  Module-level and configured via
+    :func:`functools.partial`, hence picklable for the process backend.
+    """
+    attempts = max(int(retries), 0) + 1
+    delay = float(backoff)
+    last: Optional[CellEvaluationError] = None
+    for attempt in range(1, attempts + 1):
+        try:
+            return _run_cell_with_timeout(plan, timeout)
+        except CellEvaluationError as error:
+            last = error
+            if attempt < attempts:
+                sleep = min(delay, RETRY_BACKOFF_CAP)
+                logger.warning(
+                    "cell %s failed (attempt %d/%d), retrying in %.2gs: %s",
+                    plan.cell_id(), attempt, attempts, sleep, error.cause,
+                )
+                time.sleep(sleep)
+                delay *= 2
+    return CellFailure(
+        dataset=last.dataset,
+        method=last.method,
+        noise_kind=last.noise_kind,
+        level=last.level,
+        message=last.cause,
+        remote_traceback=last.remote_traceback,
+        attempts=attempts,
+    )
+
+
 def evaluate_plans(
     plans: Sequence[EvaluationPlan],
     executor: Union[str, Executor, None] = None,
     max_workers: Optional[int] = None,
     store: Union[ResultStore, str, None, bool] = None,
     workloads: Optional[Dict[WorkloadRef, "PreparedWorkload"]] = None,
+    retries: Optional[int] = None,
+    cell_timeout: Optional[float] = None,
+    retry_backoff: float = RETRY_BACKOFF_BASE,
 ) -> PlanEvaluation:
     """Evaluate a batch of plans through the executor + store machinery.
 
@@ -240,8 +415,20 @@ def evaluate_plans(
         pinned for the duration of this call -- exact regardless of the
         bounded registry, so arbitrarily large batches never re-prepare
         workloads the caller is still holding.
+    retries / cell_timeout:
+        Fault-tolerance knobs (``None`` = honour ``REPRO_CELL_RETRIES`` /
+        ``REPRO_CELL_TIMEOUT``).  With both off -- the default -- cell
+        errors propagate exactly as before.  With either on, failing cells
+        are retried with capped exponential backoff and a cell exhausting
+        the budget comes back as a :class:`CellFailure` slot (counted in
+        ``stats.failed_cells``) instead of aborting the batch.
+    retry_backoff:
+        First retry delay in seconds (doubles per attempt; tests shrink it).
     """
     plans = list(plans)
+    retries = resolve_cell_retries(retries)
+    cell_timeout = resolve_cell_timeout(cell_timeout)
+    fault_tolerant = retries > 0 or cell_timeout is not None
     backend = resolve_executor(executor, max_workers)
     # Close a backend resolved here (the caller cannot reuse it); leave a
     # caller-provided instance warm for its next dispatch.
@@ -278,12 +465,25 @@ def evaluate_plans(
             # persisted the moment it exists, so a run killed while a slow
             # cell is in flight never loses faster cells that already
             # finished.
-            evaluated = backend.map_unordered(
-                execute_cell, [plans[i] for i in pending]
-            )
+            if fault_tolerant:
+                work = partial(
+                    evaluate_cell_tolerant,
+                    retries=retries, timeout=cell_timeout, backoff=retry_backoff,
+                )
+            else:
+                work = execute_cell
+            evaluated = backend.map_unordered(work, [plans[i] for i in pending])
             for position, result in evaluated:
                 index = pending[position]
                 results[index] = result
+                if isinstance(result, CellFailure):
+                    stats.failed_cells += 1
+                    logger.warning(
+                        "cell %s failed after %d attempt(s); recording a "
+                        "hole: %s", plans[index].cell_id(), result.attempts,
+                        result.message,
+                    )
+                    continue
                 stats.evaluated_cells += 1
                 if result_store is not None and _store_result(
                     result_store, fingerprints[index], result, plans[index]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import (
+    BrokenExecutor,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
@@ -35,8 +36,12 @@ from concurrent.futures import (
 )
 from typing import Callable, Iterator, Optional, Sequence, Tuple, TypeVar, Union
 
+from repro.utils.logging import get_logger
+
 T = TypeVar("T")
 R = TypeVar("R")
+
+logger = get_logger("execution.executors")
 
 #: Environment variable selecting the default executor backend.
 SWEEP_EXECUTOR_ENV = "REPRO_SWEEP_EXECUTOR"
@@ -151,6 +156,11 @@ class _PoolExecutor(Executor):
     manager) shuts the pool down; the next dispatch starts a fresh one.
     """
 
+    #: Broken-pool recovery budget: how many times one dispatch may respawn
+    #: its pool (a worker killed mid-cell breaks the whole stdlib pool)
+    #: before giving up and propagating the break.
+    max_pool_respawns = 3
+
     def __init__(self, max_workers: Optional[int] = None):
         self.max_workers = resolve_worker_count(max_workers)
         self._pool = None
@@ -181,27 +191,64 @@ class _PoolExecutor(Executor):
             # A one-thread pool is pure overhead; degrade to the serial path.
             yield from SerialExecutor().map_unordered(fn, items)
             return
-        pool = self._warm_pool()
-        indices = {}
-        try:
-            for index, item in enumerate(items):
-                indices[pool.submit(fn, item)] = index
-            for future in as_completed(indices):
-                yield indices[future], future.result()
-        finally:
-            # Abandon queued work on error/interrupt so the generator's
-            # close does not block behind cells nobody will consume, but
-            # wait for cells already *running*: callers must be free to
-            # e.g. delete a result store the moment an error surfaces
-            # without racing late writes from in-flight workers.  The pool
-            # itself stays warm for the next dispatch -- unless it is
-            # *broken* (a worker died mid-cell), in which case it cannot
-            # serve further work and is discarded.
-            for future in indices:
-                future.cancel()
-            wait(indices)
-            if getattr(pool, "_broken", False):
-                self.close()
+        # A killed worker breaks the whole stdlib pool (every in-flight and
+        # queued future errors with BrokenExecutor).  Recovery: salvage the
+        # results that completed before the break, respawn the pool, and
+        # resubmit only the unfinished items -- results already yielded (and
+        # hence persisted by the engine) are never re-run.
+        remaining = dict(enumerate(items))
+        respawns = 0
+        while remaining:
+            pool = self._warm_pool()
+            indices = {}
+            broken: Optional[BaseException] = None
+            try:
+                for index, item in remaining.items():
+                    indices[pool.submit(fn, item)] = index
+                for future in as_completed(indices):
+                    index = indices[future]
+                    try:
+                        result = future.result()
+                    except BrokenExecutor as error:
+                        broken = error
+                        break
+                    del remaining[index]
+                    yield index, result
+            finally:
+                # Abandon queued work on error/interrupt so the generator's
+                # close does not block behind cells nobody will consume, but
+                # wait for cells already *running*: callers must be free to
+                # e.g. delete a result store the moment an error surfaces
+                # without racing late writes from in-flight workers.  The
+                # pool itself stays warm for the next dispatch -- unless it
+                # is *broken*, in which case it cannot serve further work
+                # and is discarded.
+                for future in indices:
+                    future.cancel()
+                wait(indices)
+                if broken is not None or getattr(pool, "_broken", False):
+                    self.close()
+            if broken is None:
+                return
+            # Salvage cells that finished before the pool broke but had not
+            # been handed back by as_completed yet.
+            for future, index in indices.items():
+                if index not in remaining or not future.done() or future.cancelled():
+                    continue
+                try:
+                    result = future.result()
+                except BaseException:  # noqa: BLE001 - resubmitted below
+                    continue
+                del remaining[index]
+                yield index, result
+            respawns += 1
+            if respawns > self.max_pool_respawns:
+                raise broken
+            logger.warning(
+                "%s pool broke (%s); respawn %d/%d, requeueing %d "
+                "unfinished item(s)", self.name, broken, respawns,
+                self.max_pool_respawns, len(remaining),
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(max_workers={self.max_workers})"

@@ -296,12 +296,14 @@ def evaluate_plan(plan: EvaluationPlan, workload: PreparedWorkload) -> Evaluatio
     """
     pipeline = NoiseRobustSNN.from_plan(plan, workload.network)
     x, y = workload.evaluation_slice(plan.eval_size)
-    deletion = plan.level if plan.noise_kind == "deletion" else 0.0
-    jitter = plan.level if plan.noise_kind == "jitter" else 0.0
+    level = float(plan.level)
+    noise_levels = {
+        kind: level if plan.noise_kind == kind else 0.0
+        for kind in ("deletion", "jitter", "dead", "stuck", "burst_error")
+    }
     return pipeline.evaluate(
         x, y,
-        deletion=deletion,
-        jitter=jitter,
         batch_size=plan.batch_size,
         rng=plan.noise_rng(),
+        **noise_levels,
     )

@@ -7,15 +7,21 @@
 * :mod:`repro.experiments.runner`    -- the generic (coding x noise) sweep
   runner all figures are built from,
 * :mod:`repro.experiments.figures`   -- one entry point per paper figure
-  (Figs. 2, 3, 4, 5B, 6, 7, 8),
-* :mod:`repro.experiments.tables`    -- Tables I and II,
+  (Figs. 2, 3, 4, 5B, 6, 7, 8) plus the hardware-fault robustness sweep,
+* :mod:`repro.experiments.tables`    -- Tables I and II plus the
+  hardware-fault table,
 * :mod:`repro.experiments.reporting` -- plain-text rendering of the series
   and table rows the paper reports.
 """
 
 from repro.experiments.config import (
     BENCH_SCALE,
+    BURST_ERROR_LEVELS,
+    FAULT_LEVELS,
+    FAULT_NOISE_KINDS,
+    NOISE_KINDS,
     PAPER_SCALE,
+    TABLE3_FAULT_LEVELS,
     DatasetConfig,
     ExperimentScale,
     MethodSpec,
@@ -32,8 +38,9 @@ from repro.experiments.figures import (
     figure6_ttas_jitter,
     figure7_deletion_comparison,
     figure8_jitter_comparison,
+    figure_fault_robustness,
 )
-from repro.experiments.tables import table1_deletion, table2_jitter
+from repro.experiments.tables import table1_deletion, table2_jitter, table3_faults
 from repro.experiments.reporting import (
     format_activation_distributions,
     format_figure_series,
@@ -61,8 +68,15 @@ __all__ = [
     "figure6_ttas_jitter",
     "figure7_deletion_comparison",
     "figure8_jitter_comparison",
+    "figure_fault_robustness",
     "table1_deletion",
     "table2_jitter",
+    "table3_faults",
+    "FAULT_NOISE_KINDS",
+    "NOISE_KINDS",
+    "FAULT_LEVELS",
+    "BURST_ERROR_LEVELS",
+    "TABLE3_FAULT_LEVELS",
     "format_figure_series",
     "format_table_rows",
     "format_activation_distributions",

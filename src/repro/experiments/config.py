@@ -205,9 +205,11 @@ class SweepConfig:
     methods:
         The configurations compared (one per curve / table block).
     noise_kind:
-        "deletion" or "jitter".
+        One of :data:`NOISE_KINDS` -- the paper's i.i.d. axes ("deletion",
+        "jitter") or a hardware-fault axis ("dead", "stuck", "burst_error").
     levels:
-        Noise levels on the x-axis (deletion probabilities or jitter sigmas).
+        Noise levels on the x-axis (deletion probabilities, jitter sigmas or
+        fault fractions).
     scale:
         Experiment scale (paper or bench).
     seed:
@@ -245,7 +247,7 @@ class SweepConfig:
     simulator: str = "transport"
 
     def __post_init__(self) -> None:
-        validate_choice("noise_kind", self.noise_kind, ("deletion", "jitter"))
+        validate_choice("noise_kind", self.noise_kind, NOISE_KINDS)
         if not self.methods:
             raise ConfigError("a sweep needs at least one method")
         if not self.levels:
@@ -324,3 +326,16 @@ BENCH_JITTER_LEVELS: Tuple[float, ...] = (0.0, 1.0, 2.0, 3.0, 4.0)
 #: Noise levels reported in Table I / Table II.
 TABLE1_DELETION_LEVELS: Tuple[float, ...] = (0.0, 0.2, 0.5, 0.8)
 TABLE2_JITTER_LEVELS: Tuple[float, ...] = (0.0, 1.0, 2.0, 3.0)
+
+#: Hardware-fault noise axes (extension; see :mod:`repro.noise.faults`).
+FAULT_NOISE_KINDS: Tuple[str, ...] = ("dead", "stuck", "burst_error")
+
+#: Every valid ``SweepConfig.noise_kind``.
+NOISE_KINDS: Tuple[str, ...] = ("deletion", "jitter") + FAULT_NOISE_KINDS
+
+#: Fault fractions swept by the hardware-fault robustness curves.
+FAULT_LEVELS: Tuple[float, ...] = (0.0, 0.05, 0.1, 0.2, 0.4)
+BURST_ERROR_LEVELS: Tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 0.75)
+
+#: Fault fractions reported in the fault-robustness table.
+TABLE3_FAULT_LEVELS: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.4)

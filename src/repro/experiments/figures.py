@@ -15,6 +15,10 @@ Figure inventory (paper -> function):
 * Fig. 6  TTFS vs TTAS(t_a) vs jitter                              -> :func:`figure6_ttas_jitter`
 * Fig. 7  all codings with/without WS + TTAS(5)+WS vs deletion     -> :func:`figure7_deletion_comparison`
 * Fig. 8  rate/phase/burst/TTFS/TTAS(10) vs jitter                 -> :func:`figure8_jitter_comparison`
+
+Beyond the paper's figures, :func:`figure_fault_robustness` sweeps the
+hardware-fault models of :mod:`repro.noise.faults` (dead neurons,
+stuck-at-firing, burst errors) across all codings -- on either evaluator.
 """
 
 from __future__ import annotations
@@ -29,6 +33,9 @@ from repro.experiments.config import (
     BENCH_DELETION_LEVELS,
     BENCH_JITTER_LEVELS,
     BENCH_SCALE,
+    BURST_ERROR_LEVELS,
+    FAULT_LEVELS,
+    FAULT_NOISE_KINDS,
     ExperimentScale,
     MethodSpec,
     SweepConfig,
@@ -246,6 +253,50 @@ def figure7_deletion_comparison(
         MethodSpec(coding="ttas", weight_scaling=True, target_duration=ttas_duration)
     )
     return _sweep(dataset, methods, "deletion", levels, scale, seed, workload, eval_size,
+                  max_workers, executor=executor, store=store,
+                  spike_backend=spike_backend, analog_backend=analog_backend,
+                  batch_size=batch_size, simulator=simulator,
+                  method_filter=method_filter)
+
+
+def figure_fault_robustness(
+    dataset: str = "cifar10",
+    fault_kind: str = "dead",
+    levels: Optional[Sequence[float]] = None,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workload: Optional[PreparedWorkload] = None,
+    eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
+    ttas_duration: int = 5,
+) -> SweepResult:
+    """Hardware-fault robustness sweep: accuracy + spikes vs fault severity.
+
+    ``fault_kind`` selects the fault model (``"dead"`` = stuck-at-silent
+    neurons, ``"stuck"`` = stuck-at-firing neurons, ``"burst_error"`` =
+    correlated deletion of a contiguous timestep window); the level axis is
+    the faulty-neuron fraction (dead/stuck) or the deleted fraction of the
+    time window (burst errors).  All codings with weight scaling, plus
+    TTAS(t_a)+WS.  Runs on either evaluator via ``simulator=``.
+    """
+    if fault_kind not in FAULT_NOISE_KINDS:
+        raise ValueError(
+            f"fault_kind must be one of {FAULT_NOISE_KINDS}, got {fault_kind!r}"
+        )
+    if levels is None:
+        levels = BURST_ERROR_LEVELS if fault_kind == "burst_error" else FAULT_LEVELS
+    methods = [MethodSpec(coding=c, weight_scaling=True) for c in BASELINE_CODINGS]
+    methods.append(
+        MethodSpec(coding="ttas", weight_scaling=True, target_duration=ttas_duration)
+    )
+    return _sweep(dataset, methods, fault_kind, levels, scale, seed, workload, eval_size,
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
                   batch_size=batch_size, simulator=simulator,

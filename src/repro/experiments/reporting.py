@@ -36,8 +36,26 @@ def render_markdown_table(
     return "\n".join(lines)
 
 
+def _accuracy_cell(accuracy: float) -> str:
+    """One accuracy cell; NaN (a failed-cell hole) renders as an explicit
+    ``--`` so holes are visible rather than silently blank or interpolated."""
+    if np.isnan(accuracy):
+        return "   -- "
+    return f"{accuracy * 100:5.1f}%"
+
+
+def _spikes_cell(spikes: float) -> str:
+    """One spikes-per-sample cell; NaN holes render as ``--``."""
+    if np.isnan(spikes):
+        return "--"
+    return f"{spikes:,.0f}"
+
+
 def format_figure_series(result: SweepResult, title: str = "") -> str:
-    """Render a sweep as an accuracy table plus a spikes-per-sample table."""
+    """Render a sweep as an accuracy table plus a spikes-per-sample table.
+
+    Failed cells (holes from fault-tolerant execution) appear as ``--``.
+    """
     levels = list(result.config.levels)
     noise = result.config.noise_kind
     header = [f"{noise} level"] + [f"{level:g}" for level in levels]
@@ -45,10 +63,10 @@ def format_figure_series(result: SweepResult, title: str = "") -> str:
     spike_rows = []
     for curve in result.curves:
         accuracy_rows.append(
-            [curve.label] + [f"{acc * 100:5.1f}%" for acc in curve.accuracies]
+            [curve.label] + [_accuracy_cell(acc) for acc in curve.accuracies]
         )
         spike_rows.append(
-            [curve.label] + [f"{sps:,.0f}" for sps in curve.spikes_per_sample]
+            [curve.label] + [_spikes_cell(sps) for sps in curve.spikes_per_sample]
         )
     parts = []
     if title:
@@ -65,15 +83,23 @@ def format_figure_series(result: SweepResult, title: str = "") -> str:
 
 
 def format_table_rows(table: TableResult, title: str = "") -> str:
-    """Render a Table I / Table II reproduction in the paper's layout."""
+    """Render a Table I / Table II reproduction in the paper's layout.
+
+    Failed cells (holes from fault-tolerant execution) appear as ``--``;
+    averages are taken over the cells that did evaluate.
+    """
     levels = table.levels
     level_labels = ["Clean" if level == 0.0 else f"{level:g}" for level in levels]
     header = ["Dataset", "Method"] + level_labels + ["Avg."]
+
+    def pct(acc: float) -> str:
+        return "   --" if np.isnan(acc) else f"{acc * 100:5.2f}"
+
     rows: List[List[str]] = []
     for row in table.rows:
         cells = [row.dataset, row.method]
-        cells.extend(f"{acc * 100:5.2f}" for acc in row.accuracies)
-        cells.append(f"{row.average_accuracy * 100:5.2f}")
+        cells.extend(pct(acc) for acc in row.accuracies)
+        cells.append(pct(row.average_accuracy))
         rows.append(cells)
     parts = []
     if title:

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.execution.engine import (
+    CellFailure,
     ExecutionStats,
     evaluate_plans,
     register_workload,
@@ -93,11 +94,19 @@ class MethodCurve:
         return self.accuracies[level_index(self.levels, level)]
 
     def average_accuracy(self, exclude_clean: bool = True) -> float:
-        """Mean accuracy over levels (the tables' "Avg." column excludes clean)."""
+        """Mean accuracy over levels (the tables' "Avg." column excludes clean).
+
+        NaN entries -- holes left by cells that failed under fault-tolerant
+        execution -- are excluded from the mean; a curve with no finite
+        entries averages to NaN.
+        """
         pairs = list(zip(self.levels, self.accuracies))
         if exclude_clean:
             pairs = [(lvl, acc) for lvl, acc in pairs if lvl != 0.0] or pairs
-        return float(np.mean([acc for _, acc in pairs]))
+        finite = [acc for _, acc in pairs if not np.isnan(acc)]
+        if not finite:
+            return float("nan")
+        return float(np.mean(finite))
 
 
 @dataclass
@@ -130,18 +139,41 @@ def _assemble_sweep(
     results: Sequence,
     stats: Optional[ExecutionStats],
 ) -> SweepResult:
-    """Fold a config's flat (method-major) cell results into curves."""
+    """Fold a config's flat (method-major) cell results into curves.
+
+    A :class:`~repro.execution.engine.CellFailure` slot (a cell that
+    exhausted its retry budget under fault-tolerant execution) becomes an
+    explicit hole: NaN accuracy / NaN spikes-per-sample / zero spikes.
+    Downstream reporting renders holes as "--" instead of silently dropping
+    or interpolating them.
+    """
     num_levels = len(config.levels)
     curves: List[MethodCurve] = []
     for method_index, method in enumerate(config.methods):
         cell_results = results[method_index * num_levels:(method_index + 1) * num_levels]
+        for cell in cell_results:
+            if isinstance(cell, CellFailure):
+                logger.warning(
+                    "sweep %s/%s has a hole at %s=%g (%s)",
+                    config.dataset, method.display_label(), config.noise_kind,
+                    cell.level, cell.message,
+                )
         curves.append(
             MethodCurve(
                 method=method,
                 levels=list(config.levels),
-                accuracies=[r.accuracy for r in cell_results],
-                spike_counts=[r.total_spikes for r in cell_results],
-                spikes_per_sample=[r.spikes_per_sample for r in cell_results],
+                accuracies=[
+                    float("nan") if isinstance(r, CellFailure) else r.accuracy
+                    for r in cell_results
+                ],
+                spike_counts=[
+                    0 if isinstance(r, CellFailure) else r.total_spikes
+                    for r in cell_results
+                ],
+                spikes_per_sample=[
+                    float("nan") if isinstance(r, CellFailure) else r.spikes_per_sample
+                    for r in cell_results
+                ],
             )
         )
     return SweepResult(

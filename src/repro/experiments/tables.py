@@ -1,10 +1,12 @@
-"""Reproduction of Tables I and II.
+"""Reproduction of Tables I and II, plus the hardware-fault table.
 
 Table I reports, per dataset (MNIST, CIFAR-10, CIFAR-100) and per method
 (rate/phase/burst/TTFS with weight scaling, TTAS with weight scaling), the
 accuracy and spike counts at deletion probabilities {clean, 0.2, 0.5, 0.8}
 plus their average.  Table II reports accuracy under jitter sigma
 {clean, 1, 2, 3} for phase/burst/TTFS/TTAS without weight scaling.
+:func:`table3_faults` extends the layout to the hardware-fault models
+(dead neurons / stuck-at-firing / burst errors) of :mod:`repro.noise.faults`.
 
 Both tables are built on :func:`repro.experiments.runner.run_sweeps`: the
 cells of *all* datasets are compiled into one flat plan batch and dispatched
@@ -24,10 +26,12 @@ from repro.execution.store import ResultStore
 from repro.experiments.config import (
     BENCH_SCALE,
     ExperimentScale,
+    FAULT_NOISE_KINDS,
     MethodSpec,
     SweepConfig,
     TABLE1_DELETION_LEVELS,
     TABLE2_JITTER_LEVELS,
+    TABLE3_FAULT_LEVELS,
     filter_methods,
 )
 from repro.experiments.runner import MethodCurve, SweepResult, run_sweeps
@@ -78,13 +82,24 @@ class TableResult:
         raise KeyError(f"no row for ({dataset!r}, {method!r})")
 
 
+def _nanmean(values: Sequence[float]) -> float:
+    """Mean over the finite entries; NaN when none are finite.
+
+    Holes (NaN cells left by fault-tolerant execution) are excluded so one
+    failed cell degrades the "Avg." column gracefully instead of poisoning
+    it to NaN outright.
+    """
+    finite = [value for value in values if not np.isnan(value)]
+    return float(np.mean(finite)) if finite else float("nan")
+
+
 def _curve_to_row(dataset: str, curve: MethodCurve, include_spikes: bool) -> TableRow:
     noisy = [
         (level, acc, sps)
         for level, acc, sps in zip(curve.levels, curve.accuracies, curve.spikes_per_sample)
         if level != 0.0
     ]
-    average_accuracy = float(np.mean([acc for _, acc, _ in noisy])) if noisy else float("nan")
+    average_accuracy = _nanmean([acc for _, acc, _ in noisy]) if noisy else float("nan")
     row = TableRow(
         dataset=dataset,
         method=curve.label,
@@ -95,7 +110,7 @@ def _curve_to_row(dataset: str, curve: MethodCurve, include_spikes: bool) -> Tab
     if include_spikes:
         row.spike_counts = list(curve.spikes_per_sample)
         row.average_spikes = (
-            float(np.mean([sps for _, _, sps in noisy])) if noisy else float("nan")
+            _nanmean([sps for _, _, sps in noisy]) if noisy else float("nan")
         )
     return row
 
@@ -213,6 +228,62 @@ def table2_jitter(
     return _run_table(
         datasets, methods, "jitter", levels, scale, seed, workloads, eval_size,
         include_spikes=False, name="Table II (spike jitter)",
+        max_workers=max_workers, executor=executor, store=store,
+        spike_backend=spike_backend, analog_backend=analog_backend,
+        batch_size=batch_size, simulator=simulator, method_filter=method_filter,
+    )
+
+
+#: Human-readable names of the hardware-fault table variants.
+_FAULT_TABLE_NAMES = {
+    "dead": "Table III (dead neurons)",
+    "stuck": "Table III (stuck-at-firing)",
+    "burst_error": "Table III (burst errors)",
+}
+
+
+def table3_faults(
+    datasets: Sequence[str] = ("mnist", "cifar10", "cifar100"),
+    fault_kind: str = "dead",
+    levels: Sequence[float] = TABLE3_FAULT_LEVELS,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workloads: Optional[Dict[str, PreparedWorkload]] = None,
+    eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    ttas_duration: int = 5,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
+) -> TableResult:
+    """Hardware-fault robustness table: accuracy and spike counts under one
+    of the circuit-fault models (``fault_kind`` in ``"dead"`` / ``"stuck"``
+    / ``"burst_error"``), all codings with weight scaling.
+
+    The same table runs on either evaluator: ``simulator="transport"``
+    (default) applies the fault at every layer interface of the fast
+    activation-transport evaluator; ``simulator="timestep"`` applies it to
+    the input train and as persistent per-layer masks inside the faithful
+    membrane simulation, gated by each layer's temporal protocol window.
+    """
+    if fault_kind not in FAULT_NOISE_KINDS:
+        raise ValueError(
+            f"fault_kind must be one of {FAULT_NOISE_KINDS}, got {fault_kind!r}"
+        )
+    methods = [
+        MethodSpec(coding="rate", weight_scaling=True),
+        MethodSpec(coding="phase", weight_scaling=True),
+        MethodSpec(coding="burst", weight_scaling=True),
+        MethodSpec(coding="ttfs", weight_scaling=True),
+        MethodSpec(coding="ttas", weight_scaling=True, target_duration=ttas_duration),
+    ]
+    return _run_table(
+        datasets, methods, fault_kind, levels, scale, seed, workloads, eval_size,
+        include_spikes=True, name=_FAULT_TABLE_NAMES[fault_kind],
         max_workers=max_workers, executor=executor, store=store,
         spike_backend=spike_backend, analog_backend=analog_backend,
         batch_size=batch_size, simulator=simulator, method_filter=method_filter,

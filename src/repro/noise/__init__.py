@@ -4,12 +4,21 @@ The paper models the dynamic noise of analog neuromorphic hardware as noisy
 *output spikes* rather than noisy parameters (Sec. II-B): spikes are deleted
 with probability ``p`` or shifted in time by quantised Gaussian jitter with
 standard deviation ``sigma``.  This package implements exactly those two
-transforms plus a composite injector and, as an extension, the parametric
-weight-noise model used by earlier work for comparison.
+transforms plus a composite injector and, as extensions, the parametric
+weight-noise model used by earlier work for comparison and a family of
+structured hardware-fault models (dead neurons, stuck-at-fire neurons,
+correlated burst errors, weight quantization) in :mod:`repro.noise.faults`.
 """
 
 from repro.noise.base import IdentityNoise, SpikeNoise
 from repro.noise.deletion import DeletionNoise
+from repro.noise.faults import (
+    BurstErrorNoise,
+    DeadNeuronNoise,
+    StuckAtFireNoise,
+    WeightQuantizationNoise,
+    quantize_weights,
+)
 from repro.noise.jitter import JitterNoise
 from repro.noise.injector import NoiseInjector
 from repro.noise.weights import GaussianWeightNoise, apply_weight_noise
@@ -19,6 +28,11 @@ __all__ = [
     "IdentityNoise",
     "DeletionNoise",
     "JitterNoise",
+    "BurstErrorNoise",
+    "DeadNeuronNoise",
+    "StuckAtFireNoise",
+    "WeightQuantizationNoise",
+    "quantize_weights",
     "NoiseInjector",
     "GaussianWeightNoise",
     "apply_weight_noise",

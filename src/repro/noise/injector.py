@@ -6,6 +6,7 @@ from typing import Iterable, List, Optional, Sequence
 
 from repro.noise.base import IdentityNoise, SpikeNoise
 from repro.noise.deletion import DeletionNoise
+from repro.noise.faults import BurstErrorNoise, DeadNeuronNoise, StuckAtFireNoise
 from repro.noise.jitter import JitterNoise
 from repro.snn.spikes import SpikeTrain
 from repro.utils.rng import RngLike, derive_rng
@@ -32,13 +33,28 @@ class NoiseInjector(SpikeNoise):
         deletion_probability: float = 0.0,
         jitter_sigma: float = 0.0,
         jitter_mode: str = "clip",
+        burst_error_fraction: float = 0.0,
+        dead_fraction: float = 0.0,
+        stuck_fraction: float = 0.0,
     ) -> "NoiseInjector":
-        """Build an injector from scalar noise levels (0 disables a model)."""
+        """Build an injector from scalar noise levels (0 disables a model).
+
+        The i.i.d. transmission noise (deletion, jitter) and the correlated
+        burst errors act on the spikes in flight, so they are applied before
+        the persistent circuit faults (dead, stuck-at-fire) of the receiving
+        population.
+        """
         models: List[SpikeNoise] = []
         if deletion_probability > 0:
             models.append(DeletionNoise(deletion_probability))
         if jitter_sigma > 0:
             models.append(JitterNoise(jitter_sigma, mode=jitter_mode))
+        if burst_error_fraction > 0:
+            models.append(BurstErrorNoise(burst_error_fraction))
+        if dead_fraction > 0:
+            models.append(DeadNeuronNoise(dead_fraction))
+        if stuck_fraction > 0:
+            models.append(StuckAtFireNoise(stuck_fraction))
         if not models:
             models.append(IdentityNoise())
         return cls(models)

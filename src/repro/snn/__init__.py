@@ -48,6 +48,7 @@ from repro.snn.simulator import (
     FUSED_BACKEND,
     SIM_BACKENDS,
     STEPPED_BACKEND,
+    LayerFaultMask,
     SimulationRecord,
     SimulatorLayer,
     TimeSteppedSimulator,
@@ -83,6 +84,7 @@ __all__ = [
     "TimeSteppedSimulator",
     "SimulatorLayer",
     "SimulationRecord",
+    "LayerFaultMask",
     "FUSED_BACKEND",
     "STEPPED_BACKEND",
     "SIM_BACKENDS",

@@ -58,6 +58,7 @@ import numpy as np
 
 from repro.snn.neurons import NeuronState, SpikingNeuron
 from repro.snn.spikes import SpikeTrain, SpikeTrainArray
+from repro.utils.rng import RngLike, default_rng
 from repro.utils.validation import check_positive
 
 #: Name of the fused layer-outer/time-inner engine.
@@ -222,6 +223,87 @@ class SimulatorLayer:
 
 
 @dataclass
+class LayerFaultMask:
+    """Persistent hardware-fault masks for one spiking layer.
+
+    Models broken neuron circuits of the layer itself: dead
+    (stuck-at-silent) neurons never emit a spike, stuck-at-fire neurons emit
+    exactly one spike at every step of their firing window regardless of
+    membrane state.  Both masks are drawn over the layer's feature axes
+    (the per-step spike tensor is ``(batch, *features)``), once per
+    simulator run, on the first application -- so the realisation persists
+    across every timestep and is bit-identical between the stepped and the
+    fused engine (both draw the same two calls over the same feature shape)
+    and at any ``REPRO_SIM_WORKERS`` count (masks apply to emitted spikes,
+    outside the fold pool).
+
+    Attributes
+    ----------
+    dead_fraction / stuck_fraction:
+        Per-neuron fault probabilities.
+    rng:
+        Generator or seed the masks are drawn from (derived per cell/layer
+        by the caller); ``None`` falls back to the library default stream.
+    """
+
+    dead_fraction: float = 0.0
+    stuck_fraction: float = 0.0
+    rng: Optional[RngLike] = None
+    _dead: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+    _stuck: Optional[np.ndarray] = field(default=None, init=False, repr=False)
+
+    def _draw(self, feature_shape: Sequence[int]) -> None:
+        if self._dead is None:
+            generator = default_rng(self.rng)
+            # Always draw both masks, in a fixed order, so the realisation
+            # depends only on (rng, feature_shape) -- not on which fractions
+            # happen to be non-zero.
+            self._dead = generator.random(size=tuple(feature_shape)) < self.dead_fraction
+            self._stuck = generator.random(size=tuple(feature_shape)) < self.stuck_fraction
+
+    def apply_step(
+        self,
+        spikes: np.ndarray,
+        step: int,
+        fire_start: int = 0,
+        fire_stop: Optional[int] = None,
+    ) -> np.ndarray:
+        """Mask one step's emitted spikes (``(batch, *features)``)."""
+        self._draw(spikes.shape[1:])
+        out = spikes
+        if self._dead.any():
+            out = np.where(self._dead, 0, out)
+        if self._stuck.any() and step >= fire_start and (
+            fire_stop is None or step < fire_stop
+        ):
+            out = np.where(self._stuck, 1, out)
+        if out is spikes:
+            return spikes
+        return out.astype(spikes.dtype, copy=False)
+
+    def apply_window(
+        self,
+        spikes: np.ndarray,
+        fire_start: int = 0,
+        fire_stop: Optional[int] = None,
+    ) -> np.ndarray:
+        """Mask a whole window of emitted spikes (``(T, batch, *features)``)."""
+        self._draw(spikes.shape[2:])
+        num_steps = spikes.shape[0]
+        out = spikes
+        if self._dead.any():
+            out = np.where(self._dead, 0, out).astype(spikes.dtype, copy=False)
+        if self._stuck.any():
+            start = max(int(fire_start), 0)
+            stop = num_steps if fire_stop is None else min(int(fire_stop), num_steps)
+            if start < stop:
+                if out is spikes:
+                    out = spikes.copy()
+                out[start:stop] = np.where(self._stuck, 1, out[start:stop])
+        return out
+
+
+@dataclass
 class SimulationRecord:
     """Outcome of a time-stepped simulation.
 
@@ -355,6 +437,7 @@ class TimeSteppedSimulator:
         input_spikes: SpikeTrain,
         record_spikes: bool = False,
         backend: Optional[str] = None,
+        layer_faults: Optional[Dict[str, LayerFaultMask]] = None,
     ) -> SimulationRecord:
         """Simulate the network on a batch of encoded inputs.
 
@@ -371,6 +454,11 @@ class TimeSteppedSimulator:
         backend:
             Per-run simulation-engine override ("fused"/"stepped"); falls
             back to the constructor argument / process override / env.
+        layer_faults:
+            Optional persistent hardware-fault masks
+            (:class:`LayerFaultMask`) keyed by spiking-layer name; each
+            layer's mask corrupts its emitted spikes (gated by the layer
+            neuron's firing window), identically on both engines.
         """
         input_spikes = input_spikes.to_dense()
         if input_spikes.num_steps != self.input_steps:
@@ -394,13 +482,14 @@ class TimeSteppedSimulator:
             backend if backend is not None else self.sim_backend
         )
         if resolved == STEPPED_BACKEND:
-            return self._run_stepped(input_spikes, record_spikes)
-        return self._run_fused(input_spikes, record_spikes)
+            return self._run_stepped(input_spikes, record_spikes, layer_faults)
+        return self._run_fused(input_spikes, record_spikes, layer_faults)
 
     def _run_stepped(
         self,
         input_spikes: SpikeTrainArray,
         record_spikes: bool,
+        layer_faults: Optional[Dict[str, LayerFaultMask]] = None,
     ) -> SimulationRecord:
         """Reference engine: advance every layer one time step at a time."""
         states: List[Optional[NeuronState]] = []
@@ -440,6 +529,13 @@ class TimeSteppedSimulator:
                 if index >= len(states):
                     states.append(layer.neuron.init_state(drive.shape))
                 spikes = layer.neuron.step(states[index], drive)
+                fault = layer_faults.get(layer.name) if layer_faults else None
+                if fault is not None:
+                    spikes = fault.apply_step(
+                        spikes, step,
+                        getattr(layer.neuron, "fire_start", 0),
+                        getattr(layer.neuron, "fire_stop", None),
+                    )
                 spike_counts[layer.name] += int(spikes.sum())
                 if record_spikes:
                     recorded.setdefault(layer.name, []).append(spikes.copy())
@@ -616,6 +712,7 @@ class TimeSteppedSimulator:
         self,
         input_spikes: SpikeTrainArray,
         record_spikes: bool,
+        layer_faults: Optional[Dict[str, LayerFaultMask]] = None,
     ) -> SimulationRecord:
         """Fused engine: hoist the time loop inside each layer.
 
@@ -659,6 +756,13 @@ class TimeSteppedSimulator:
             drive = self._fused_layer_drive(layer, counts, kernel)
             state = layer.neuron.init_state(drive.shape[1:])
             spikes = layer.neuron.advance(state, drive)
+            fault = layer_faults.get(layer.name) if layer_faults else None
+            if fault is not None:
+                spikes = fault.apply_window(
+                    spikes,
+                    getattr(layer.neuron, "fire_start", 0),
+                    getattr(layer.neuron, "fire_stop", None),
+                )
             spike_counts[layer.name] += int(spikes.sum())
             if record_spikes:
                 recorded[layer.name] = SpikeTrainArray(spikes, copy=False)

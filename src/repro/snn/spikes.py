@@ -62,6 +62,45 @@ def _validate_backend(name: str) -> str:
     return key
 
 
+def _broadcast_population_mask(
+    mask: np.ndarray, population_shape: Tuple[int, ...]
+) -> np.ndarray:
+    """Validate that a boolean ``mask`` broadcasts over ``population_shape``.
+
+    Fault masks are usually drawn over the trailing (feature) axes only, so
+    the same physical neurons are hit for every element of a leading batch
+    axis; numpy broadcasting gives exactly that alignment.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    try:
+        if np.broadcast_shapes(tuple(population_shape), mask.shape) != tuple(
+            population_shape
+        ):
+            raise ValueError
+    except ValueError:
+        raise ValueError(
+            f"mask of shape {mask.shape} does not broadcast over population "
+            f"{tuple(population_shape)}"
+        ) from None
+    return mask
+
+
+def _resolve_window(
+    window: Optional[Tuple[int, Optional[int]]], num_steps: int
+) -> Tuple[int, int]:
+    """Clip a ``(start, stop)`` step window to ``[0, num_steps]``.
+
+    ``window=None`` means the whole train; ``stop=None`` means "until the
+    end" (mirrors the neuron fire-window convention).
+    """
+    if window is None:
+        return 0, num_steps
+    start, stop = window
+    start = max(int(start), 0)
+    stop = num_steps if stop is None else min(int(stop), num_steps)
+    return start, max(stop, start)
+
+
 def set_spike_backend(backend: Optional[str]) -> None:
     """Set (or clear, with ``None``) the process-wide spike-backend override.
 
@@ -300,6 +339,54 @@ class SpikeTrainArray:
         new_flat = np.bincount(linear, minlength=self.num_steps * num_neurons)
         new_flat = new_flat.reshape(self.num_steps, num_neurons).astype(np.int16)
         return SpikeTrainArray(new_flat.reshape(self.counts.shape), copy=False)
+
+    def mask_neurons(self, keep: np.ndarray) -> "SpikeTrainArray":
+        """Return a train with all spikes of masked-out neurons removed.
+
+        ``keep`` is a boolean array broadcast over the population (typically
+        drawn over the feature axes only, so a leading batch axis shares the
+        mask); neurons where it is ``False`` are silenced at every step --
+        the stuck-at-silent / dead-neuron hardware fault.
+        """
+        keep = _broadcast_population_mask(keep, self.population_shape)
+        if keep.all():
+            return self.view()
+        return SpikeTrainArray(
+            np.where(keep, self.counts, np.int16(0)), copy=False
+        )
+
+    def force_firing(
+        self,
+        mask: np.ndarray,
+        window: Optional[Tuple[int, Optional[int]]] = None,
+    ) -> "SpikeTrainArray":
+        """Return a train where masked neurons emit exactly one spike per step.
+
+        Within ``window`` (default: the whole train) every neuron where
+        ``mask`` is ``True`` has its count replaced by 1 -- the stuck-at-fire
+        hardware fault.  Steps outside the window keep their original spikes.
+        """
+        mask = _broadcast_population_mask(mask, self.population_shape)
+        start, stop = _resolve_window(window, self.num_steps)
+        if not mask.any() or start >= stop:
+            return self.view()
+        out = self.counts.copy()
+        out[start:stop] = np.where(mask, np.int16(1), out[start:stop])
+        return SpikeTrainArray(out, copy=False)
+
+    def drop_window(self, start: int, stop: int) -> "SpikeTrainArray":
+        """Return a train with every spike in steps ``[start, stop)`` removed.
+
+        The correlated (burst-error) counterpart of :meth:`delete_spikes`:
+        spikes are dropped together in one contiguous time window instead of
+        independently.
+        """
+        start, stop = _resolve_window((start, stop), self.num_steps)
+        if start >= stop:
+            return self.view()
+        out = self.counts.copy()
+        out[start:stop] = 0
+        return SpikeTrainArray(out, copy=False)
 
     def merge(self, other: "SpikeTrain") -> "SpikeTrainArray":
         """Superpose two spike trains of identical shape."""
@@ -667,6 +754,70 @@ class SpikeEvents:
             neurons = neurons[keep]
         return SpikeEvents(
             shifted, neurons, None, self._num_steps, self._population_shape
+        )
+
+    def mask_neurons(self, keep: np.ndarray) -> "SpikeEvents":
+        """Return a train with all spikes of masked-out neurons removed.
+
+        O(events) filter of the event list (see the dense counterpart for the
+        fault semantics).
+        """
+        keep = _broadcast_population_mask(keep, self._population_shape)
+        if keep.all():
+            return self.view()
+        keep_flat = np.broadcast_to(keep, self._population_shape).ravel()
+        sel = keep_flat[self.neuron_indices]
+        return SpikeEvents(
+            self.times[sel], self.neuron_indices[sel], self.event_counts[sel],
+            self._num_steps, self._population_shape, _canonical=self._canonical,
+        )
+
+    def force_firing(
+        self,
+        mask: np.ndarray,
+        window: Optional[Tuple[int, Optional[int]]] = None,
+    ) -> "SpikeEvents":
+        """Return a train where masked neurons emit exactly one spike per step.
+
+        Original events of stuck neurons inside ``window`` are discarded and
+        replaced by a regular one-spike-per-step grid (see the dense
+        counterpart for the fault semantics).
+        """
+        mask = _broadcast_population_mask(mask, self._population_shape)
+        start, stop = _resolve_window(window, self._num_steps)
+        if not mask.any() or start >= stop:
+            return self.view()
+        mask_flat = np.broadcast_to(mask, self._population_shape).ravel()
+        forced = np.flatnonzero(mask_flat)
+        sel = (
+            ~mask_flat[self.neuron_indices]
+            | (self.times < start)
+            | (self.times >= stop)
+        )
+        width = stop - start
+        return SpikeEvents(
+            np.concatenate(
+                [self.times[sel], np.repeat(np.arange(start, stop), forced.size)]
+            ),
+            np.concatenate([self.neuron_indices[sel], np.tile(forced, width)]),
+            np.concatenate(
+                [self.event_counts[sel], np.ones(width * forced.size, dtype=np.int64)]
+            ),
+            self._num_steps, self._population_shape,
+        )
+
+    def drop_window(self, start: int, stop: int) -> "SpikeEvents":
+        """Return a train with every spike in steps ``[start, stop)`` removed.
+
+        O(events) filter (see the dense counterpart for the fault semantics).
+        """
+        start, stop = _resolve_window((start, stop), self._num_steps)
+        if start >= stop:
+            return self.view()
+        sel = (self.times < start) | (self.times >= stop)
+        return SpikeEvents(
+            self.times[sel], self.neuron_indices[sel], self.event_counts[sel],
+            self._num_steps, self._population_shape, _canonical=self._canonical,
         )
 
     def merge(self, other: "SpikeTrain") -> "SpikeEvents":

@@ -535,6 +535,65 @@ class TestEngine:
 
 
 # ---------------------------------------------------------------------------
+# Hardware-fault sweeps: executor / worker-count determinism
+# ---------------------------------------------------------------------------
+class TestFaultSweepDeterminism:
+    """Fault masks draw from per-cell RNG streams keyed exactly like the
+    existing noise models, so fault sweeps must be bit-identical across
+    every executor backend and any REPRO_SIM_WORKERS setting."""
+
+    @pytest.mark.parametrize("noise_kind", ["dead", "stuck", "burst_error"])
+    def test_fault_sweep_identical_across_executors(self, tiny_workload, noise_kind):
+        levels = (0.0, 0.75) if noise_kind == "burst_error" else (0.0, 0.3)
+        config = tiny_config(noise_kind=noise_kind, levels=levels)
+        reference = run_noise_sweep(
+            config, workload=tiny_workload, eval_size=12, executor="serial"
+        )
+        for executor in ("thread", "process"):
+            candidate = run_noise_sweep(
+                config, workload=tiny_workload, eval_size=12,
+                executor=executor, max_workers=2,
+            )
+            for ref_curve, cand_curve in zip(reference.curves, candidate.curves):
+                assert cand_curve.accuracies == ref_curve.accuracies
+                assert cand_curve.spike_counts == ref_curve.spike_counts
+
+    def test_timestep_fault_cells_invariant_to_sim_workers(self, tiny_workload):
+        from repro.snn.simulator import set_sim_workers
+
+        config = tiny_config(
+            methods=(MethodSpec(coding="ttfs"),),
+            noise_kind="dead",
+            levels=(0.0, 0.4),
+            simulator="timestep",
+        )
+        set_sim_workers(1)
+        try:
+            one = run_noise_sweep(config, workload=tiny_workload, eval_size=10)
+            set_sim_workers(2)
+            two = run_noise_sweep(config, workload=tiny_workload, eval_size=10)
+        finally:
+            set_sim_workers(None)
+        for a, b in zip(one.curves, two.curves):
+            assert a.accuracies == b.accuracies
+            assert a.spike_counts == b.spike_counts
+
+    def test_retries_enabled_bit_identical_when_nothing_fails(self, tiny_workload):
+        # The fault-tolerant dispatch path must not perturb results: a sweep
+        # with a retry budget (and no failures) matches the plain path.
+        config = tiny_config(noise_kind="stuck", levels=(0.0, 0.2))
+        plain = run_noise_sweep(config, workload=tiny_workload, eval_size=12)
+        ref = WorkloadRef.from_sweep_config(config, use_cache=False)
+        plans = build_sweep_plans(config, eval_size=12, use_cache=False)
+        tolerant = evaluate_plans(
+            plans, workloads={ref: tiny_workload}, retries=2, cell_timeout=60.0
+        )
+        assert tolerant.stats.failed_cells == 0
+        accuracies = [r.accuracy for r in tolerant.results]
+        assert accuracies == [a for c in plain.curves for a in c.accuracies]
+
+
+# ---------------------------------------------------------------------------
 # Float-tolerant level lookups (satellite fix)
 # ---------------------------------------------------------------------------
 class TestLevelLookups:
