@@ -22,7 +22,11 @@ so the performance trajectory is tracked across PRs (and gated by the CI
   spike-count equality recorded alongside.  Temporal-coder rows
   (``mlp_phase``, ``mlp_ttfs``, ``mlp_ttas3``) run the same batched MLP
   through the coder-aware per-layer-window protocols (longer global
-  windows, windowed/scheduled neurons, sparse off-window drive),
+  windows, windowed/scheduled neurons, sparse off-window drive); every
+  simulator row also records ``fused_unscheduled`` (the fused engine with
+  the window scheduler forced off) and the deep 12-hidden-layer TTAS stack
+  (``mlp_deep_ttas3``) whose same-run unscheduled/windowed ratio is the
+  gated window-scheduler speedup,
 * **sweep orchestration** -- the fixed cost the execution engine adds per
   sweep cell: dispatch overhead of the serial / thread / process executor
   backends on no-op cells, and the result store's put / hit / miss cost.
@@ -105,6 +109,19 @@ TIMESTEP_TEMPORAL_CODERS = {
     "mlp_ttfs": {"coding": "ttfs", "num_steps": 32, "threshold": None},
     "mlp_ttas3": {"coding": "ttas", "num_steps": 32, "threshold": None,
                   "kwargs": {"target_duration": 3}},
+}
+
+#: Deep temporal stack for the window-scheduler benchmark: a 12-hidden-layer
+#: MLP under the TTAS sequential-window protocol, where each layer fires in
+#: its own window and the per-layer active fraction of the global grid
+#: shrinks with depth (~2/(L+1)) -- the regime the window scheduler targets.
+#: The same-run ``fused_unscheduled``/``fused`` ratio of this case is the
+#: gated window-scheduler speedup (``summary.timestep_windowed_speedup``);
+#: 12 layers keeps it well clear of the CI floor on noisy shared runners.
+TIMESTEP_DEEP_SHAPE = {
+    "image": 28,
+    "hidden": (256, 224, 192, 192, 160, 160, 128, 128, 96, 96, 80, 64),
+    "batch": 8, "coding": "ttas", "num_steps": 32, "target_duration": 3,
 }
 
 #: No-op cells per executor dispatch in the orchestration benchmark; large
@@ -268,6 +285,8 @@ def bench_timestep_sim(repeats: int) -> Dict[str, Dict[str, float]]:
         "config": {**TIMESTEP_SHAPE,
                    "mlp": dict(TIMESTEP_MLP_SHAPE,
                                hidden=list(TIMESTEP_MLP_SHAPE["hidden"])),
+                   "deep": dict(TIMESTEP_DEEP_SHAPE,
+                                hidden=list(TIMESTEP_DEEP_SHAPE["hidden"])),
                    "temporal": {name: dict(spec, kwargs=dict(spec.get("kwargs", {})))
                                 for name, spec in TIMESTEP_TEMPORAL_CODERS.items()}},
     }
@@ -321,23 +340,46 @@ def bench_timestep_sim(repeats: int) -> Dict[str, Dict[str, float]]:
                          spec["threshold"]),
         ))
 
+    # Deep temporal stack: one TTAS window per layer, so occupancy per layer
+    # shrinks with depth and the window scheduler's advantage compounds.
+    deep_cfg = TIMESTEP_DEEP_SHAPE
+    deep_shape = (1, deep_cfg["image"], deep_cfg["image"])
+    deep_coder = create_coder(deep_cfg["coding"],
+                              num_steps=deep_cfg["num_steps"],
+                              target_duration=deep_cfg["target_duration"])
+    _, deep_sim, deep_train = build(
+        build_mlp(int(np.prod(deep_shape)), hidden_units=deep_cfg["hidden"],
+                  num_classes=10, rng=0),
+        deep_shape, deep_cfg["batch"], deep_coder, None,
+    )
+    cases.append(("mlp_deep_ttas3", deep_sim, deep_train))
+
     for name, simulator, train in cases:
         timings = {
             "stepped": _time(lambda: simulator.run(train, backend="stepped"),
                              repeats),
             "fused": _time(lambda: simulator.run(train, backend="fused"),
                            repeats),
+            "fused_unscheduled": _time(
+                lambda: simulator.run(train, backend="fused", windowed=False),
+                repeats,
+            ),
         }
         timings["speedup_stepped_over_fused"] = (
             timings["stepped"] / timings["fused"]
         )
+        timings["speedup_unscheduled_over_windowed"] = (
+            timings["fused_unscheduled"] / timings["fused"]
+        )
         stepped = simulator.run(train, backend="stepped")
         fused = simulator.run(train, backend="fused")
+        unscheduled = simulator.run(train, backend="fused", windowed=False)
         results["config"][f"{name}_max_abs_diff"] = float(
             np.abs(stepped.output_potential - fused.output_potential).max()
         )
         results["config"][f"{name}_spike_counts_equal"] = (
             stepped.spike_counts == fused.spike_counts
+            == unscheduled.spike_counts
         )
         results[name] = timings
 
@@ -390,13 +432,18 @@ def bench_timestep_sim(repeats: int) -> Dict[str, Dict[str, float]]:
 
     print(f"\ntimestep simulator ({cfg['config']} @{cfg['image']}px batch "
           f"{cfg['batch']}, T={cfg['num_steps']}; mlp batch {mlp_cfg['batch']})")
-    print(f"  {'path':<22}{'stepped':>12}{'fused':>12}{'speedup':>10}")
+    print(f"  {'path':<22}{'stepped':>12}{'fused':>12}{'unsched':>12}"
+          f"{'speedup':>10}{'win spd':>10}")
     for case in ("conv_stack", "mlp", *TIMESTEP_TEMPORAL_CODERS,
-                 "layer0_transform", "layer0_neuron_scan"):
+                 "mlp_deep_ttas3", "layer0_transform", "layer0_neuron_scan"):
         row = results[case]
+        unsched = (f"{row['fused_unscheduled'] * 1e3:>10.2f}ms"
+                   if "fused_unscheduled" in row else f"{'--':>12}")
+        win = (f"{row['speedup_unscheduled_over_windowed']:>9.1f}x"
+               if "speedup_unscheduled_over_windowed" in row else f"{'--':>10}")
         print(f"  {case:<22}{row['stepped'] * 1e3:>10.2f}ms"
-              f"{row['fused'] * 1e3:>10.2f}ms"
-              f"{row['speedup_stepped_over_fused']:>9.1f}x")
+              f"{row['fused'] * 1e3:>10.2f}ms{unsched}"
+              f"{row['speedup_stepped_over_fused']:>9.1f}x{win}")
     print(f"  conv maxdiff {results['config']['conv_stack_max_abs_diff']:.2e}, "
           f"spike counts equal: "
           f"{results['config']['conv_stack_spike_counts_equal']}")
@@ -558,6 +605,9 @@ def main(argv=None) -> int:
         "timestep_sim_speedup": report["results"]["timestep_sim"][
             "conv_stack"
         ]["speedup_stepped_over_fused"],
+        "timestep_windowed_speedup": report["results"]["timestep_sim"][
+            "mlp_deep_ttas3"
+        ]["speedup_unscheduled_over_windowed"],
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)

@@ -6,6 +6,12 @@ fails -- exit code 1 -- when any hot-path median regressed by more than the
 tolerance factor (default 1.5x, configurable via the ``REPRO_BENCH_TOLERANCE``
 environment variable or ``--tolerance``).
 
+Beyond per-leaf slowdowns the gate also fails when a whole baseline section
+disappears from the candidate report (a dropped section whose timings are all
+non-gated would otherwise lose coverage silently), and -- with
+``--min-windowed-speedup`` -- when the candidate's same-run window-scheduler
+speedup on the deep temporal stack falls below the required factor.
+
 Absolute timings are not comparable across machines, so every ratio is
 normalised by the *calibration ratio*: both reports record the median time of
 fixed-size reference ops (a 512x512 GEMM and a 16 MB memcpy, see
@@ -81,10 +87,32 @@ def calibration_ratio(baseline: Dict, candidate: Dict) -> float:
     return float(statistics.median(ratios))
 
 
+def missing_sections(baseline: Dict, candidate: Dict) -> list:
+    """Top-level ``results`` sections present in the baseline but absent from
+    the candidate, sorted.
+
+    The per-leaf MISSING check below cannot see these when a dropped section
+    contains no gated timings (e.g. ``sweep_orchestration``, whose numbers
+    are all under ``_NON_TIMING_KEYS``), so a candidate that silently stops
+    measuring a whole section must be caught at the section level.
+    """
+    base = baseline.get("results", {})
+    cand = candidate.get("results", {})
+    return sorted(set(base) - set(cand))
+
+
 def compare(
     baseline: Dict, candidate: Dict, tolerance: float
 ) -> Tuple[bool, str]:
     """Compare two reports; returns ``(ok, human-readable table)``."""
+    lost_sections = missing_sections(baseline, candidate)
+    if lost_sections:
+        return False, (
+            "FAIL: baseline section(s) missing from the candidate report: "
+            + ", ".join(lost_sections)
+            + " -- the candidate no longer measures them; restore the "
+            "benchmark section(s) or regenerate the baseline deliberately"
+        )
     base_timings = dict(iter_timings(baseline.get("results", {})))
     cand_timings = dict(iter_timings(candidate.get("results", {})))
     if not base_timings:
@@ -140,6 +168,30 @@ def compare(
     return not regressions, "\n".join(lines)
 
 
+def check_windowed_speedup(candidate: Dict, minimum: float) -> Tuple[bool, str]:
+    """Require the candidate's window-scheduler speedup to meet ``minimum``.
+
+    The speedup (``summary.timestep_windowed_speedup``) is a same-run,
+    same-machine ratio -- unscheduled over window-scheduled fused engine on
+    the deep temporal stack -- so no calibration normalisation applies.
+    """
+    speedup = (candidate.get("summary") or {}).get("timestep_windowed_speedup")
+    if speedup is None:
+        return False, (
+            "FAIL: candidate report has no summary.timestep_windowed_speedup "
+            "(bench_hot_paths.py too old?)"
+        )
+    if float(speedup) < minimum:
+        return False, (
+            f"FAIL: window-scheduler speedup {float(speedup):.2f}x is below "
+            f"the required {minimum:.2f}x on the deep temporal stack"
+        )
+    return True, (
+        f"window-scheduler speedup {float(speedup):.2f}x "
+        f">= required {minimum:.2f}x"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=BASELINE_PATH,
@@ -149,6 +201,11 @@ def main(argv=None) -> int:
     parser.add_argument("--tolerance", type=float, default=None,
                         help="regression tolerance factor (default: "
                              f"${TOLERANCE_ENV} or {DEFAULT_TOLERANCE})")
+    parser.add_argument("--min-windowed-speedup", type=float, default=None,
+                        help="additionally require the candidate's "
+                             "summary.timestep_windowed_speedup (deep "
+                             "temporal stack, unscheduled/windowed fused) "
+                             "to be at least this factor")
     args = parser.parse_args(argv)
 
     tolerance = args.tolerance
@@ -169,6 +226,12 @@ def main(argv=None) -> int:
 
     ok, table = compare(baseline, candidate, tolerance)
     print(table)
+    if args.min_windowed_speedup is not None:
+        speedup_ok, message = check_windowed_speedup(
+            candidate, args.min_windowed_speedup
+        )
+        print(message)
+        ok = ok and speedup_ok
     return 0 if ok else 1
 
 

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Fused-simulator smoke run.
+#
+# Faithful (time-stepped, fused-engine) sweep cells through the process
+# executor + result store, covering a rate and a temporal (Phase) method via
+# the per-layer temporal protocols: the first run evaluates and persists
+# every cell, the re-run must be served entirely from the store (0 cells
+# evaluated) -- proven by the sentinel mtime check.  A stepped-engine
+# temporal evaluate guards the reference loop, and a burst attempt must fail
+# with the per-capability refusal.
+#
+# Run from the repository root: bash ci/smoke_fused_simulator.sh
+set -euo pipefail
+
+export PYTHONPATH="${PYTHONPATH:-src}"
+STORE="${REPRO_SMOKE_STORE:-/tmp/repro-ci-simstore}"
+rm -rf "$STORE"
+
+python -m repro figure --name fig2 --dataset mnist \
+  --scale test --eval-size 8 --simulator timestep \
+  --methods Rate Phase --executor process --max-workers 2 \
+  --result-store "$STORE"
+test "$(find "$STORE/cells" -name '*.json' | wc -l)" -eq 10
+touch "$STORE/sentinel"
+python -m repro figure --name fig2 --dataset mnist \
+  --scale test --eval-size 8 --simulator timestep \
+  --methods Rate Phase --executor serial \
+  --result-store "$STORE"
+test "$(find "$STORE/cells" -name '*.json' -newer "$STORE/sentinel" | wc -l)" -eq 0
+REPRO_SIM_BACKEND=stepped python -m repro evaluate \
+  --dataset mnist --scale test --coding ttfs --simulator timestep \
+  --eval-size 8
+if python -m repro evaluate --dataset mnist \
+  --scale test --coding burst --simulator timestep --eval-size 8 \
+  2> /tmp/burst-refusal.log; then
+  echo "burst must be refused by the faithful simulator" >&2; exit 1
+fi
+grep -q "cannot faithfully model burst" /tmp/burst-refusal.log
+echo "fused-simulator smoke: sweeps resumed clean, burst refused"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Process-executor smoke run.
+#
+# End-to-end sweep through the process backend + result store: the first
+# run evaluates and persists every cell; the second must be served entirely
+# from the store (resume/incremental guarantee) -- a sentinel mtime check
+# proves no document was rewritten, i.e. no cell was re-evaluated.
+#
+# Run from the repository root: bash ci/smoke_process_executor.sh
+set -euo pipefail
+
+export PYTHONPATH="${PYTHONPATH:-src}"
+STORE="${REPRO_SMOKE_STORE:-/tmp/repro-ci-store}"
+rm -rf "$STORE"
+
+python -m repro figure --name fig2 --dataset mnist \
+  --scale test --eval-size 8 --executor process --max-workers 2 \
+  --result-store "$STORE"
+test "$(find "$STORE/cells" -name '*.json' | wc -l)" -eq 20
+touch "$STORE/sentinel"
+python -m repro figure --name fig2 --dataset mnist \
+  --scale test --eval-size 8 --executor serial \
+  --result-store "$STORE"
+test "$(find "$STORE/cells" -name '*.json' -newer "$STORE/sentinel" | wc -l)" -eq 0
+echo "process-executor smoke: 20 cells persisted, resume re-ran 0 cells"

@@ -123,6 +123,7 @@ def build_time_stepped_simulator(
     threshold: Optional[float] = None,
     kernel_scale: float = 1.0,
     sim_backend: Optional[str] = None,
+    sim_windowed: Optional[bool] = None,
 ) -> TimeSteppedSimulator:
     """Build a :class:`TimeSteppedSimulator` for a converted network.
 
@@ -153,6 +154,11 @@ def build_time_stepped_simulator(
     sim_backend:
         Simulation engine selection forwarded to the simulator
         ("fused"/"stepped"; ``None`` = the env/override default).
+    sim_windowed:
+        Window-scheduler toggle forwarded to the simulator (``None`` = the
+        ``REPRO_SIM_WINDOWED``/override default, which is on).  A pure
+        execution knob: spikes and results are bit-identical either way,
+        so it is not a sweep fingerprint dimension.
     """
     check_positive("num_steps (coder)", coder.num_steps)
     check_positive("kernel_scale", kernel_scale)
@@ -228,6 +234,7 @@ def build_time_stepped_simulator(
         readout_mode="batched" if readout_is_linear else "per-step",
         sim_backend=sim_backend,
         input_steps=protocol.encode_steps,
+        windowed=sim_windowed,
     )
 
 
@@ -242,6 +249,7 @@ def evaluate_timestep(
     spike_backend: Optional[str] = None,
     analog_backend: Optional[str] = None,
     sim_backend: Optional[str] = None,
+    sim_windowed: Optional[bool] = None,
     threshold: Optional[float] = None,
     batch_size: int = 16,
     rng: RngLike = None,
@@ -295,6 +303,7 @@ def evaluate_timestep(
         threshold=threshold,
         kernel_scale=factor,
         sim_backend=sim_backend,
+        sim_windowed=sim_windowed,
     )
     spiking_layers = [layer.name for layer in simulator.layers if layer.neuron is not None]
     generator = default_rng(rng)

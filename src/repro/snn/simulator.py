@@ -29,6 +29,20 @@ argument wins, then the constructor argument, then the
 :func:`set_sim_backend` process override, then the ``REPRO_SIM_BACKEND``
 environment variable, then the fused default.
 
+On top of the fused engine sits the **window scheduler** (on by default;
+same precedence chain through ``REPRO_SIM_WINDOWED`` /
+:func:`set_sim_windowed`): under a per-layer temporal protocol each layer is
+provably silent outside its firing window and its incoming kernel's support,
+so the scheduler materialises drive and advances neurons only over that
+active sub-window -- assembled straight from the upstream train's occupied
+steps (event lists densify just the sub-window) -- and replays the constant
+bias-only prefix as a closed-form membrane seed.  Emitted spikes are
+bit-identical to both dense engines at any worker count; the scheduler is a
+pure execution strategy, not a result dimension, so sweep-cell fingerprints
+do not depend on it.  It engages only when every spiking layer's transform
+is ``zero_preserving`` (the contract the silence proof rests on) and falls
+back to the dense fused fold otherwise.
+
 Layers may carry **per-layer incoming kernels** and **firing/bias windows**
 (:class:`SimulatorLayer.in_kernel` / ``bias_stop``): this is how the
 coder-aware temporal protocols (:mod:`repro.coding.protocol`) lay the layers
@@ -115,6 +129,62 @@ def resolve_sim_backend(requested: Optional[str] = None) -> str:
     return FUSED_BACKEND
 
 
+#: Environment variable toggling the fused engine's window scheduler
+#: (default on; accepts 1/0, true/false, on/off, yes/no).
+SIM_WINDOWED_ENV = "REPRO_SIM_WINDOWED"
+
+_SIM_WINDOWED_OVERRIDE: Optional[bool] = None
+
+_WINDOWED_TRUE = frozenset(("1", "true", "on", "yes"))
+_WINDOWED_FALSE = frozenset(("0", "false", "off", "no"))
+
+
+def _parse_windowed(value: str) -> bool:
+    key = str(value).strip().lower()
+    if key in _WINDOWED_TRUE:
+        return True
+    if key in _WINDOWED_FALSE:
+        return False
+    raise ValueError(
+        f"{SIM_WINDOWED_ENV} must be one of "
+        f"{sorted(_WINDOWED_TRUE | _WINDOWED_FALSE)}, got {value!r}"
+    )
+
+
+def set_sim_windowed(enabled: Optional[bool]) -> None:
+    """Set (or clear, with ``None``) the process-wide window-scheduler toggle.
+
+    Sits between an explicit per-call/constructor request and the
+    ``REPRO_SIM_WINDOWED`` environment variable, mirroring the other
+    backend overrides.
+    """
+    global _SIM_WINDOWED_OVERRIDE
+    _SIM_WINDOWED_OVERRIDE = None if enabled is None else bool(enabled)
+
+
+def get_sim_windowed() -> Optional[bool]:
+    """The process-wide window-scheduler override, or ``None`` when not set."""
+    return _SIM_WINDOWED_OVERRIDE
+
+
+def resolve_sim_windowed(requested: Optional[bool] = None) -> bool:
+    """Resolve whether the fused engine may schedule by protocol windows.
+
+    Precedence: ``requested`` argument, then the :func:`set_sim_windowed`
+    override, then the ``REPRO_SIM_WINDOWED`` environment variable, then on.
+    The scheduler changes no result bits, so -- like ``REPRO_SIM_WORKERS``
+    -- it is not a sweep-plan fingerprint dimension.
+    """
+    if requested is not None:
+        return bool(requested)
+    if _SIM_WINDOWED_OVERRIDE is not None:
+        return _SIM_WINDOWED_OVERRIDE
+    env = os.environ.get(SIM_WINDOWED_ENV, "").strip()
+    if env:
+        return _parse_windowed(env)
+    return True
+
+
 #: Environment variable sizing the fused-fold worker pool (default 1:
 #: serial fold; 0 or negative: one worker per CPU).
 SIM_WORKERS_ENV = "REPRO_SIM_WORKERS"
@@ -176,6 +246,18 @@ def _fold_pool(workers: int) -> ThreadPoolExecutor:
             )
             _SIM_POOL_WORKERS = workers
         return _SIM_POOL
+
+
+def _kernel_support(kernel: np.ndarray) -> tuple:
+    """Smallest step window ``[lo, hi)`` containing every nonzero weight.
+
+    ``(0, 0)`` for an all-zero kernel (spikes through it never drive
+    anything, whatever their timing).
+    """
+    nonzero = np.flatnonzero(np.asarray(kernel))
+    if nonzero.size == 0:
+        return 0, 0
+    return int(nonzero[0]), int(nonzero[-1]) + 1
 
 
 #: A synaptic transform maps an instantaneous post-synaptic-current vector of
@@ -363,6 +445,13 @@ class TimeSteppedSimulator:
         Simulation engine ("fused" or "stepped"); ``None`` (default) defers
         to the :func:`resolve_sim_backend` precedence chain
         (override > ``REPRO_SIM_BACKEND`` > fused).
+    windowed:
+        Whether the fused engine may schedule layers by their protocol
+        windows (skip provably silent steps); ``None`` (default) defers to
+        the :func:`resolve_sim_windowed` precedence chain
+        (override > ``REPRO_SIM_WINDOWED`` > on).  Scheduling engages only
+        when every spiking layer's transform is ``zero_preserving``; spikes
+        are bit-identical either way.
     input_steps:
         Length of the input spike trains handed to :meth:`run` (default:
         ``num_steps``).  Per-layer temporal protocols simulate a global
@@ -381,6 +470,7 @@ class TimeSteppedSimulator:
         readout_mode: str = "batched",
         sim_backend: Optional[str] = None,
         input_steps: Optional[int] = None,
+        windowed: Optional[bool] = None,
     ):
         check_positive("num_steps", num_steps)
         if not layers:
@@ -398,6 +488,7 @@ class TimeSteppedSimulator:
         self.sim_backend = (
             _validate_sim_backend(sim_backend) if sim_backend is not None else None
         )
+        self.windowed = None if windowed is None else bool(windowed)
         self.input_kernel = self._check_kernel(input_kernel)
         self.hidden_kernel = (
             self._check_kernel(hidden_kernel)
@@ -423,6 +514,18 @@ class TimeSteppedSimulator:
             else (self.input_kernel if index == 0 else self.hidden_kernel)
             for index, layer in enumerate(self.layers)
         ]
+        #: Per layer: support ``[lo, hi)`` of the incoming kernel -- the
+        #: only steps at which arriving spikes can drive the layer at all.
+        self.layer_kernel_supports: List[tuple] = [
+            _kernel_support(kernel) for kernel in self.layer_kernels
+        ]
+        #: The window scheduler's silence proof needs ``transform(0) == 0``
+        #: exactly for every spiking layer; otherwise the fused engine keeps
+        #: its dense fold.
+        self._window_schedulable = all(
+            getattr(layer.transform, "zero_preserving", False)
+            for layer in self.layers[:-1]
+        )
 
     def _check_kernel(self, kernel: np.ndarray) -> np.ndarray:
         kernel = np.asarray(kernel, dtype=np.float64)
@@ -438,6 +541,7 @@ class TimeSteppedSimulator:
         record_spikes: bool = False,
         backend: Optional[str] = None,
         layer_faults: Optional[Dict[str, LayerFaultMask]] = None,
+        windowed: Optional[bool] = None,
     ) -> SimulationRecord:
         """Simulate the network on a batch of encoded inputs.
 
@@ -446,8 +550,8 @@ class TimeSteppedSimulator:
         input_spikes:
             Spike trains of the input population covering
             ``(T, batch, features...)`` as produced by a coder's ``encode``
-            (either backend; the simulator is inherently dense-stepped and
-            converts events up front).
+            (either backend; the window-scheduled path reads events
+            natively, the dense engines convert up front).
         record_spikes:
             Keep the full spike trains of every hidden layer in the record
             (memory heavy; meant for small validation runs and plots).
@@ -458,40 +562,67 @@ class TimeSteppedSimulator:
             Optional persistent hardware-fault masks
             (:class:`LayerFaultMask`) keyed by spiking-layer name; each
             layer's mask corrupts its emitted spikes (gated by the layer
-            neuron's firing window), identically on both engines.
+            neuron's firing window), identically on every engine.
+        windowed:
+            Per-run window-scheduler override; falls back to the
+            constructor argument / process override / ``REPRO_SIM_WINDOWED``
+            / on.  Scheduling changes no result bits.
         """
-        input_spikes = input_spikes.to_dense()
         if input_spikes.num_steps != self.input_steps:
             raise ValueError(
                 f"input spike train has {input_spikes.num_steps} steps, "
                 f"simulator expects {self.input_steps}"
             )
-        if input_spikes.num_steps < self.num_steps:
-            # Per-layer protocols simulate past the encode window; no input
-            # spikes exist there, so the train extends with silent steps.
-            counts = input_spikes.counts
-            padded = np.zeros(
-                (self.num_steps,) + counts.shape[1:], dtype=counts.dtype
-            )
-            padded[: counts.shape[0]] = counts
-            input_spikes = SpikeTrainArray(padded, copy=False)
-        batch_shape = input_spikes.population_shape
-        if not batch_shape:
+        if not input_spikes.population_shape:
             raise ValueError("input spike train must include a batch dimension")
         resolved = resolve_sim_backend(
             backend if backend is not None else self.sim_backend
         )
+        use_windows = resolve_sim_windowed(
+            windowed if windowed is not None else self.windowed
+        )
+        if (
+            resolved == FUSED_BACKEND
+            and use_windows
+            and self._window_schedulable
+        ):
+            return self._run_fused_windowed(
+                input_spikes, record_spikes, layer_faults
+            )
+        dense = input_spikes.to_dense()
+        if dense.num_steps < self.num_steps:
+            # Per-layer protocols simulate past the encode window; no input
+            # spikes exist there, so the train extends with silent steps.
+            counts = dense.counts
+            padded = np.zeros(
+                (self.num_steps,) + counts.shape[1:], dtype=counts.dtype
+            )
+            padded[: counts.shape[0]] = counts
+            dense = SpikeTrainArray(padded, copy=False)
         if resolved == STEPPED_BACKEND:
-            return self._run_stepped(input_spikes, record_spikes, layer_faults)
-        return self._run_fused(input_spikes, record_spikes, layer_faults)
+            return self._run_stepped(
+                dense, record_spikes, layer_faults, skip_silent=use_windows
+            )
+        return self._run_fused(dense, record_spikes, layer_faults)
 
     def _run_stepped(
         self,
         input_spikes: SpikeTrainArray,
         record_spikes: bool,
         layer_faults: Optional[Dict[str, LayerFaultMask]] = None,
+        skip_silent: bool = False,
     ) -> SimulationRecord:
-        """Reference engine: advance every layer one time step at a time."""
+        """Reference engine: advance every layer one time step at a time.
+
+        With ``skip_silent`` (the stepped engine's share of the window
+        scheduler) a layer's synaptic transform is evaluated once on an
+        all-zero PSC and the result reused for every later silent step of
+        that layer -- the transform is pure, so the cached drive is the
+        exact array a fresh call would return, and the neuron still steps
+        through its dynamics (bias, thresholds, bursts) every step.  Under
+        a temporal protocol most steps of most layers are silent, which
+        removes the bulk of the per-step GEMM/conv calls.
+        """
         states: List[Optional[NeuronState]] = []
         output_potential: Optional[np.ndarray] = None
         readout_psc: Optional[np.ndarray] = None
@@ -499,6 +630,7 @@ class TimeSteppedSimulator:
         batched_readout = self.readout_mode == "batched"
         spike_counts: Dict[str, int] = {layer.name: 0 for layer in self.layers}
         recorded: Dict[str, List[np.ndarray]] = {}
+        zero_drives: Dict[int, np.ndarray] = {}
 
         for step in range(self.num_steps):
             current_psc = (
@@ -515,7 +647,17 @@ class TimeSteppedSimulator:
                     readout_steps += 1
                     current_psc = None
                     break
-                drive = layer.transform(current_psc)
+                if (
+                    skip_silent
+                    and getattr(layer.transform, "zero_preserving", False)
+                    and not current_psc.any()
+                ):
+                    drive = zero_drives.get(index)
+                    if drive is None:
+                        drive = np.asarray(layer.transform(current_psc))
+                        zero_drives[index] = drive
+                else:
+                    drive = layer.transform(current_psc)
                 if layer.step_bias is not None and (
                     layer.bias_stop is None or step < layer.bias_stop
                 ):
@@ -592,8 +734,17 @@ class TimeSteppedSimulator:
         layer: SimulatorLayer,
         counts: np.ndarray,
         kernel: np.ndarray,
+        window: Optional[tuple] = None,
+        counts_offset: int = 0,
     ) -> np.ndarray:
-        """One layer's full ``(T, B, ...)`` drive tensor from spike counts.
+        """One layer's ``(T, B, ...)`` drive tensor from spike counts.
+
+        By default the whole window of ``counts`` is materialised.  The
+        window scheduler instead passes a global step range ``window =
+        (w_lo, w_hi)`` plus the global step of ``counts[0]``
+        (``counts_offset``): only those ``w_hi - w_lo`` time rows are
+        assembled and transformed, with steps outside the supplied counts
+        treated as silent.  ``kernel`` is always indexed by global step.
 
         Time is folded into the batch axis, so the T per-step transform calls
         of the stepped engine collapse into a handful of wide calls -- exact
@@ -627,12 +778,30 @@ class TimeSteppedSimulator:
         embarrassingly parallel (disjoint output slices, GIL-releasing numpy
         inside), so the results stay bit-identical at any worker count.
         """
-        num_steps, batch = counts.shape[0], counts.shape[1]
+        if window is None:
+            w_lo, w_hi = 0, counts.shape[0]
+        else:
+            w_lo, w_hi = int(window[0]), int(window[1])
+        batch = counts.shape[1]
         population = counts.shape[2:]
+        num_steps = w_hi - w_lo
+        c_lo = int(counts_offset)
+        c_hi = c_lo + counts.shape[0]
+        if c_lo <= w_lo and w_hi <= c_hi:
+            win_counts = counts[w_lo - c_lo : w_hi - c_lo]
+        else:
+            # Steps of the window not covered by the supplied counts are
+            # silent by construction (the upstream layer cannot emit there).
+            win_counts = np.zeros(
+                (num_steps,) + counts.shape[1:], dtype=counts.dtype
+            )
+            lo, hi = max(w_lo, c_lo), min(w_hi, c_hi)
+            if hi > lo:
+                win_counts[lo - w_lo : hi - w_lo] = counts[lo - c_lo : hi - c_lo]
         total = num_steps * batch
-        flat_counts = counts.reshape((total,) + population)
+        flat_counts = win_counts.reshape((total,) + population)
         #: Per folded row: the kernel weight of the step it came from.
-        row_kernel = np.repeat(kernel, batch).reshape(
+        row_kernel = np.repeat(kernel[w_lo:w_hi], batch).reshape(
             (total,) + (1,) * len(population)
         )
 
@@ -652,18 +821,20 @@ class TimeSteppedSimulator:
             return np.asarray(layer.transform(psc))
 
         def finish(drive: np.ndarray) -> np.ndarray:
-            window = drive.reshape((num_steps, batch) + drive.shape[1:])
+            rows = drive.reshape((num_steps, batch) + drive.shape[1:])
             if layer.step_bias is not None:
                 # One bias addition per biased time row -- the same single
                 # ``transform + bias`` float add the stepped loop performs,
-                # restricted to the layer's bias window.
+                # restricted to the layer's bias window (a global step
+                # horizon, re-based onto this window's rows).
                 stop = (
-                    num_steps
+                    w_hi
                     if layer.bias_stop is None
-                    else min(int(layer.bias_stop), num_steps)
+                    else min(int(layer.bias_stop), w_hi)
                 )
-                window[:stop] += layer.step_bias
-            return window
+                stop = max(stop - w_lo, 0)
+                rows[:stop] += layer.step_bias
+            return rows
 
         if active is not None and active.size == 0:
             # Whole window silent: probe one zero row for the output shape;
@@ -708,6 +879,42 @@ class TimeSteppedSimulator:
                 fill(rows)
         return finish(drive)
 
+    def _fused_readout(
+        self,
+        layer: SimulatorLayer,
+        kernel: np.ndarray,
+        counts: np.ndarray,
+    ) -> np.ndarray:
+        """Readout potential from the last hidden layer's full spike window."""
+        if self.readout_mode == "batched":
+            # Linear readout: the per-step weighted sums collapse into one
+            # kernel-weighted time contraction (no window-sized float64 PSC
+            # temporary) and one GEMM.
+            psc = np.einsum("t,t...->...", kernel, counts)
+            output_potential = np.asarray(layer.transform(psc))
+            if layer.step_bias is not None:
+                bias_steps = (
+                    self.num_steps
+                    if layer.bias_stop is None
+                    else min(int(layer.bias_stop), self.num_steps)
+                )
+                output_potential = output_potential + bias_steps * layer.step_bias
+            return output_potential
+        # Non-linear readout: transform every (step, sample) row
+        # independently (folded), then accumulate over time.
+        drive = self._fused_layer_drive(layer, counts, kernel)
+        return drive.sum(axis=0)
+
+    def _pad_window(self, window: np.ndarray, offset: int) -> np.ndarray:
+        """Zero-pad a ``(w, B, ...)`` step window onto the full global grid."""
+        if offset == 0 and window.shape[0] == self.num_steps:
+            return window
+        full = np.zeros(
+            (self.num_steps,) + window.shape[1:], dtype=window.dtype
+        )
+        full[offset : offset + window.shape[0]] = window
+        return full
+
     def _run_fused(
         self,
         input_spikes: SpikeTrainArray,
@@ -732,26 +939,7 @@ class TimeSteppedSimulator:
         for index, layer in enumerate(self.layers):
             kernel = self.layer_kernels[index]
             if layer.neuron is None:
-                if self.readout_mode == "batched":
-                    # Linear readout: the per-step weighted sums collapse
-                    # into one kernel-weighted time contraction (no
-                    # window-sized float64 PSC temporary) and one GEMM.
-                    psc = np.einsum("t,t...->...", kernel, counts)
-                    output_potential = np.asarray(layer.transform(psc))
-                    if layer.step_bias is not None:
-                        bias_steps = (
-                            self.num_steps
-                            if layer.bias_stop is None
-                            else min(int(layer.bias_stop), self.num_steps)
-                        )
-                        output_potential = (
-                            output_potential + bias_steps * layer.step_bias
-                        )
-                else:
-                    # Non-linear readout: transform every (step, sample) row
-                    # independently (folded), then accumulate over time.
-                    drive = self._fused_layer_drive(layer, counts, kernel)
-                    output_potential = drive.sum(axis=0)
+                output_potential = self._fused_readout(layer, kernel, counts)
                 break
             drive = self._fused_layer_drive(layer, counts, kernel)
             state = layer.neuron.init_state(drive.shape[1:])
@@ -767,6 +955,147 @@ class TimeSteppedSimulator:
             if record_spikes:
                 recorded[layer.name] = SpikeTrainArray(spikes, copy=False)
             counts = spikes
+
+        if output_potential is None:
+            raise RuntimeError("simulation finished without reaching the readout layer")
+
+        record = SimulationRecord(
+            output_potential=output_potential,
+            spike_counts=spike_counts,
+            num_steps=self.num_steps,
+        )
+        if record_spikes:
+            record.spike_trains = recorded
+        return record
+
+    def _run_fused_windowed(
+        self,
+        input_spikes: SpikeTrain,
+        record_spikes: bool,
+        layer_faults: Optional[Dict[str, LayerFaultMask]] = None,
+    ) -> SimulationRecord:
+        """Window-scheduled fused engine: touch only provably active steps.
+
+        Under a per-layer temporal protocol a layer can only be driven
+        inside its incoming kernel's support intersected with the upstream
+        spikes' occupied window, and can only emit inside its neuron's
+        firing window (plus the burst spill of ``target_duration - 1``
+        steps).  Everything before that **active window** ``[a_lo, a_hi)``
+        is a constant bias-only prefix: the transform maps the silent PSC to
+        exactly zero (``zero_preserving``, the eligibility gate), no spike
+        can start before ``fire_start``, and the membrane after the prefix
+        is just ``n`` accumulated bias rows -- replayed here as a cheap
+        sequential seed over a single bias row, with the same dtype chain
+        and addition order the dense engines use, so it is bit-identical to
+        integrating the full grid.  The layer's drive is assembled and its
+        neuron advanced over ``[a_lo, a_hi)`` only; the upstream spikes
+        arrive as a compact window straight from the input train's occupied
+        steps (event lists densify just that slice) or the previous layer's
+        firing window.
+
+        Emitted spikes are bit-identical to :meth:`_run_fused` and
+        :meth:`_run_stepped` for every coder, fault mask and worker count;
+        the readout consumes the zero-padded full-grid spike window, so the
+        output potential is bit-identical to the fused engine's.
+        """
+        lo, hi = input_spikes.step_support()
+        if hi > lo:
+            counts = np.asarray(input_spikes.window_counts(lo, hi))
+            win_lo = lo
+        else:
+            counts = np.zeros(
+                (0,) + tuple(input_spikes.population_shape), dtype=np.int16
+            )
+            win_lo = 0
+        spike_counts: Dict[str, int] = {layer.name: 0 for layer in self.layers}
+        recorded: Dict[str, SpikeTrainArray] = {}
+        output_potential: Optional[np.ndarray] = None
+
+        for index, layer in enumerate(self.layers):
+            kernel = self.layer_kernels[index]
+            if layer.neuron is None:
+                output_potential = self._fused_readout(
+                    layer, kernel, self._pad_window(counts, win_lo)
+                )
+                break
+            fire_start = int(getattr(layer.neuron, "fire_start", 0))
+            fire_stop = getattr(layer.neuron, "fire_stop", None)
+            fire_hi = (
+                self.num_steps
+                if fire_stop is None
+                else min(int(fire_stop), self.num_steps)
+            )
+            # A burst started on the window's last step keeps spilling.
+            spill = max(int(getattr(layer.neuron, "target_duration", 1)) - 1, 0)
+            a_hi = min(fire_hi + spill, self.num_steps)
+            k_lo, k_hi = self.layer_kernel_supports[index]
+            drive_lo = max(k_lo, win_lo)
+            drive_hi = min(k_hi, win_lo + counts.shape[0])
+            a_lo = min(drive_lo, fire_start) if drive_lo < drive_hi else fire_start
+            a_lo = min(a_lo, a_hi)
+
+            if a_hi > a_lo:
+                drive = self._fused_layer_drive(
+                    layer, counts, kernel,
+                    window=(a_lo, a_hi), counts_offset=win_lo,
+                )
+                state = layer.neuron.init_state(drive.shape[1:])
+                bias_hi = 0
+                if layer.step_bias is not None:
+                    bias_hi = (
+                        self.num_steps
+                        if layer.bias_stop is None
+                        else min(int(layer.bias_stop), self.num_steps)
+                    )
+                prefix = min(bias_hi, a_lo)
+                if prefix > 0:
+                    # The skipped steps [0, a_lo) carry zero transform drive
+                    # plus the step bias on their first `prefix` rows.
+                    # Replay those rows on one bias row: same float32 bias
+                    # add as finish(), same sequential float64 accumulation
+                    # as the neuron's integration -- bit-identical membrane.
+                    row_shape = (1,) + tuple(drive.shape[2:])
+                    if np.broadcast_shapes(
+                        row_shape, np.shape(layer.step_bias)
+                    ) != row_shape:
+                        # A per-sample bias needs the full batch row.
+                        row_shape = tuple(drive.shape[1:])
+                    bias_row = np.zeros(row_shape, dtype=drive.dtype)
+                    bias_row += layer.step_bias
+                    seed = np.zeros(bias_row.shape, dtype=np.float64)
+                    for _ in range(prefix):
+                        np.add(seed, bias_row, out=seed)
+                    state.membrane[...] = seed
+                state.step_index = a_lo
+                spikes = layer.neuron.advance(state, drive)
+            else:
+                # The layer's windows lie entirely outside the grid: it is
+                # silent everywhere; probe one zero row for the shape.
+                probe = np.asarray(
+                    layer.transform(
+                        np.zeros((1,) + counts.shape[2:], dtype=np.float64)
+                    )
+                )
+                spikes = np.zeros(
+                    (0, counts.shape[1]) + probe.shape[1:], dtype=np.int16
+                )
+            fault = layer_faults.get(layer.name) if layer_faults else None
+            if fault is not None:
+                spikes = fault.apply_window(
+                    spikes,
+                    fire_start - a_lo,
+                    None if fire_stop is None else int(fire_stop) - a_lo,
+                )
+            spike_counts[layer.name] += int(spikes.sum())
+            if record_spikes:
+                recorded[layer.name] = SpikeTrainArray(
+                    self._pad_window(spikes, a_lo), copy=False
+                )
+            # Rows before the firing window are all-zero; hand downstream
+            # only the window spikes can live in.
+            trim = min(max(fire_start - a_lo, 0), spikes.shape[0])
+            counts = spikes[trim:]
+            win_lo = a_lo + trim
 
         if output_potential is None:
             raise RuntimeError("simulation finished without reaching the readout layer")

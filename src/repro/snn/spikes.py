@@ -258,6 +258,44 @@ class SpikeTrainArray:
         """Lossless conversion to the event-driven backend."""
         return SpikeEvents.from_dense(self)
 
+    # -- window queries ------------------------------------------------------
+    def step_support(self) -> Tuple[int, int]:
+        """Smallest step window ``[lo, hi)`` containing every spike.
+
+        Returns ``(0, 0)`` for an empty train.  The window scheduler uses
+        this to materialise only the occupied slice of the time axis.
+        """
+        occupied = self.counts.reshape(self.num_steps, -1).any(axis=1)
+        if not occupied.any():
+            return 0, 0
+        lo = int(np.argmax(occupied))
+        hi = self.num_steps - int(np.argmax(occupied[::-1]))
+        return lo, hi
+
+    def window_counts(
+        self, start: int, stop: Optional[int] = None
+    ) -> np.ndarray:
+        """Dense per-step counts for steps ``[start, stop)`` only.
+
+        Returns an array of shape ``(stop - start, *population_shape)``; a
+        view of the underlying buffer on this backend -- treat it as
+        read-only.  ``stop=None`` means "until the end".
+        """
+        start, stop = _resolve_window((start, stop), self.num_steps)
+        return self.counts[start:stop]
+
+    def slice_window(self, start: int, stop: Optional[int] = None) -> "SpikeTrainArray":
+        """A new train holding only steps ``[start, stop)``, re-based to 0.
+
+        The window must be non-empty after clipping to ``[0, num_steps]``.
+        """
+        start, stop = _resolve_window((start, stop), self.num_steps)
+        if start >= stop:
+            raise ValueError(
+                f"slice_window needs a non-empty window, got [{start}, {stop})"
+            )
+        return SpikeTrainArray(self.counts[start:stop])
+
     # -- transformations -----------------------------------------------------
     def weighted_sum(self, weights_per_step: np.ndarray) -> np.ndarray:
         """Sum of per-spike weights for every neuron.
@@ -665,6 +703,59 @@ class SpikeEvents:
     def to_events(self) -> "SpikeEvents":
         """This train (already event-driven)."""
         return self
+
+    # -- window queries ------------------------------------------------------
+    def step_support(self) -> Tuple[int, int]:
+        """Smallest step window ``[lo, hi)`` containing every spike.
+
+        O(events) min/max scan; returns ``(0, 0)`` for an empty train.
+        """
+        if self.times.size == 0:
+            return 0, 0
+        return int(self.times.min()), int(self.times.max()) + 1
+
+    def window_counts(
+        self, start: int, stop: Optional[int] = None
+    ) -> np.ndarray:
+        """Dense per-step counts for steps ``[start, stop)`` only.
+
+        Event-native scatter into a ``(stop - start, *population_shape)``
+        array: only the requested sub-window is ever densified, which is how
+        the window scheduler assembles a layer's drive straight from the
+        event lists without materialising the full ``(T, ...)`` grid.
+        ``stop=None`` means "until the end".
+        """
+        start, stop = _resolve_window((start, stop), self._num_steps)
+        width = stop - start
+        if self._dense_cache is not None:
+            return self._dense_cache[start:stop]
+        self._ensure_canonical()
+        flat = np.zeros((width, self.num_neurons), dtype=np.int16)
+        if width and self.times.size:
+            sel = (self.times >= start) & (self.times < stop)
+            # Canonical events have unique (time, neuron) slots.
+            flat[self.times[sel] - start, self.neuron_indices[sel]] = (
+                self.event_counts[sel]
+            )
+        return flat.reshape((width,) + self._population_shape)
+
+    def slice_window(self, start: int, stop: Optional[int] = None) -> "SpikeEvents":
+        """A new train holding only steps ``[start, stop)``, re-based to 0.
+
+        O(events) filter; the window must be non-empty after clipping to
+        ``[0, num_steps]``.
+        """
+        start, stop = _resolve_window((start, stop), self._num_steps)
+        if start >= stop:
+            raise ValueError(
+                f"slice_window needs a non-empty window, got [{start}, {stop})"
+            )
+        sel = (self.times >= start) & (self.times < stop)
+        return SpikeEvents(
+            self.times[sel] - start, self.neuron_indices[sel],
+            self.event_counts[sel], stop - start, self._population_shape,
+            _canonical=self._canonical,
+        )
 
     # -- transformations -----------------------------------------------------
     def weighted_sum(self, weights_per_step: np.ndarray) -> np.ndarray:

@@ -1,0 +1,218 @@
+"""Unit tests for the benchmark regression gate.
+
+``benchmarks/check_bench_regression.py`` is plumbing that only runs in CI,
+so its failure modes -- missing sections, missing leaves, tolerance math,
+the window-scheduler speedup floor -- are pinned down here with synthetic
+reports instead of real measurements.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+import pytest
+
+_GATE_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "check_bench_regression.py",
+)
+_spec = importlib.util.spec_from_file_location("check_bench_regression", _GATE_PATH)
+gate = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_bench_regression", gate)
+_spec.loader.exec_module(gate)
+
+
+def make_report(results, calibration=None, summary=None):
+    report = {
+        "calibration": calibration or {"gemm_512": 0.01, "memcpy_16mb": 0.005},
+        "results": results,
+    }
+    if summary is not None:
+        report["summary"] = summary
+    return report
+
+
+BASE_RESULTS = {
+    "spikes": {"dense": {"encode": 0.010, "decode": 0.020}},
+    "timestep_sim": {
+        "config": {"note": "not a timing"},
+        "mlp": {"stepped": 0.10, "fused": 0.02,
+                "speedup_stepped_over_fused": 5.0},
+    },
+    "sweep_orchestration": {
+        "config": {"dispatch_cells": 64},
+        "dispatch_per_cell": {"serial": 1e-6},
+        "store": {"put": 1e-4},
+    },
+}
+
+
+class TestMissingSections:
+    def test_identical_reports_pass(self):
+        ok, table = gate.compare(make_report(BASE_RESULTS),
+                                 make_report(BASE_RESULTS), tolerance=1.5)
+        assert ok, table
+        assert "OK" in table
+
+    def test_missing_section_fails_and_names_it(self):
+        candidate = {k: v for k, v in BASE_RESULTS.items()
+                     if k != "sweep_orchestration"}
+        ok, table = gate.compare(make_report(BASE_RESULTS),
+                                 make_report(candidate), tolerance=1.5)
+        assert not ok
+        assert "sweep_orchestration" in table
+        assert "missing" in table.lower()
+
+    def test_non_timing_only_section_is_still_protected(self):
+        # sweep_orchestration has no gated timing leaves (all its numbers
+        # are under _NON_TIMING_KEYS), so only the section-level check can
+        # catch its disappearance.
+        candidate = {k: v for k, v in BASE_RESULTS.items()
+                     if k != "sweep_orchestration"}
+        leaves = dict(gate.iter_timings(
+            {"sweep_orchestration": BASE_RESULTS["sweep_orchestration"]}
+        ))
+        assert not leaves  # precondition: invisible to the per-leaf check
+        ok, _ = gate.compare(make_report(BASE_RESULTS),
+                             make_report(candidate), tolerance=1.5)
+        assert not ok
+
+    def test_every_missing_section_is_named(self):
+        ok, table = gate.compare(
+            make_report(BASE_RESULTS), make_report({"spikes": BASE_RESULTS["spikes"]}),
+            tolerance=1.5,
+        )
+        assert not ok
+        assert "timestep_sim" in table and "sweep_orchestration" in table
+
+    def test_new_candidate_section_is_allowed(self):
+        candidate = dict(BASE_RESULTS, extra={"fast": {"run": 0.001}})
+        ok, _ = gate.compare(make_report(BASE_RESULTS),
+                             make_report(candidate), tolerance=1.5)
+        assert ok
+
+    def test_missing_sections_helper(self):
+        base = make_report(BASE_RESULTS)
+        cand = make_report({"spikes": BASE_RESULTS["spikes"]})
+        assert gate.missing_sections(base, cand) == [
+            "sweep_orchestration", "timestep_sim",
+        ]
+        assert gate.missing_sections(base, base) == []
+
+
+class TestLeafRegression:
+    def test_regressed_leaf_fails(self):
+        candidate = json.loads(json.dumps(BASE_RESULTS))
+        candidate["spikes"]["dense"]["encode"] = 0.10  # 10x slower
+        ok, table = gate.compare(make_report(BASE_RESULTS),
+                                 make_report(candidate), tolerance=1.5)
+        assert not ok
+        assert "spikes.dense.encode" in table
+        assert "REGRESSED" in table
+
+    def test_missing_leaf_fails(self):
+        candidate = json.loads(json.dumps(BASE_RESULTS))
+        del candidate["spikes"]["dense"]["decode"]
+        ok, table = gate.compare(make_report(BASE_RESULTS),
+                                 make_report(candidate), tolerance=1.5)
+        assert not ok
+        assert "MISSING" in table
+
+    def test_calibration_normalises_slow_machine(self):
+        candidate = json.loads(json.dumps(BASE_RESULTS))
+        for section in candidate.values():
+            for sub in section.values():
+                if isinstance(sub, dict):
+                    for key, value in sub.items():
+                        if isinstance(value, float) and not key.startswith("speedup"):
+                            sub[key] = value * 2
+        slow_cal = {"gemm_512": 0.02, "memcpy_16mb": 0.010}  # 2x slower machine
+        ok, table = gate.compare(
+            make_report(BASE_RESULTS),
+            make_report(candidate, calibration=slow_cal), tolerance=1.5,
+        )
+        assert ok, table
+
+
+class TestWindowedSpeedupFloor:
+    def test_meets_floor(self):
+        ok, message = gate.check_windowed_speedup(
+            make_report(BASE_RESULTS, summary={"timestep_windowed_speedup": 4.2}),
+            3.0,
+        )
+        assert ok
+        assert "4.20x" in message
+
+    def test_below_floor_fails(self):
+        ok, message = gate.check_windowed_speedup(
+            make_report(BASE_RESULTS, summary={"timestep_windowed_speedup": 1.4}),
+            3.0,
+        )
+        assert not ok
+        assert "1.40x" in message and "3.00x" in message
+
+    def test_absent_summary_key_fails(self):
+        ok, message = gate.check_windowed_speedup(make_report(BASE_RESULTS), 3.0)
+        assert not ok
+        assert "timestep_windowed_speedup" in message
+
+
+class TestMainExitCodes:
+    def write(self, tmp_path, name, report):
+        path = tmp_path / name
+        path.write_text(json.dumps(report))
+        return str(path)
+
+    def test_ok_run_exits_zero(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_report(BASE_RESULTS))
+        cand = self.write(tmp_path, "cand.json", make_report(BASE_RESULTS))
+        assert gate.main(["--baseline", base, "--candidate", cand]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_missing_section_exits_one(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_report(BASE_RESULTS))
+        cand = self.write(
+            tmp_path, "cand.json",
+            make_report({"spikes": BASE_RESULTS["spikes"]}),
+        )
+        assert gate.main(["--baseline", base, "--candidate", cand]) == 1
+        out = capsys.readouterr().out
+        assert "timestep_sim" in out
+
+    def test_speedup_floor_gates_main(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_report(BASE_RESULTS))
+        cand = self.write(
+            tmp_path, "cand.json",
+            make_report(BASE_RESULTS,
+                        summary={"timestep_windowed_speedup": 2.0}),
+        )
+        args = ["--baseline", base, "--candidate", cand]
+        assert gate.main(args) == 0  # floor off by default
+        assert gate.main(args + ["--min-windowed-speedup", "3"]) == 1
+        assert gate.main(args + ["--min-windowed-speedup", "1.5"]) == 0
+        capsys.readouterr()
+
+    def test_bad_tolerance_exits_two(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_report(BASE_RESULTS))
+        cand = self.write(tmp_path, "cand.json", make_report(BASE_RESULTS))
+        assert gate.main(
+            ["--baseline", base, "--candidate", cand, "--tolerance", "-1"]
+        ) == 2
+        capsys.readouterr()
+
+    def test_unreadable_report_exits_two(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_report(BASE_RESULTS))
+        assert gate.main(
+            ["--baseline", base, "--candidate", str(tmp_path / "absent.json")]
+        ) == 2
+        capsys.readouterr()
+
+
+@pytest.mark.parametrize("results,expected", [
+    ({"a": {"x": 0.5, "speedup_x": 2.0}}, {"a.x": 0.5}),
+    ({"a": {"config": {"x": 0.5}}}, {}),
+    ({"a": {"sparsity": {"dense": 0.1}, "b": {"c": 1.0}}}, {"a.b.c": 1.0}),
+])
+def test_iter_timings_filters(results, expected):
+    assert dict(gate.iter_timings(results)) == expected

@@ -10,6 +10,8 @@ executor engine and result store.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as hyp_st
 
 from repro.coding import RateCoder
 from repro.core import build_time_stepped_simulator, evaluate_timestep
@@ -26,11 +28,15 @@ from repro.snn.neurons import IFNeuron, IntegrateFireOrBurstNeuron, TTFSNeuron
 from repro.snn.simulator import (
     FUSED_BACKEND,
     SIM_BACKENDS,
+    SIM_WINDOWED_ENV,
     STEPPED_BACKEND,
     SimulatorLayer,
     TimeSteppedSimulator,
+    get_sim_windowed,
     resolve_sim_backend,
+    resolve_sim_windowed,
     set_sim_backend,
+    set_sim_windowed,
 )
 from repro.snn.spikes import SpikeTrainArray
 from repro.utils.config import ConfigError
@@ -40,6 +46,7 @@ from repro.utils.config import ConfigError
 def _clear_sim_override():
     yield
     set_sim_backend(None)
+    set_sim_windowed(None)
 
 
 NEURON_FACTORIES = {
@@ -661,3 +668,275 @@ class TestCliPlumbing:
         with pytest.raises(SystemExit):
             parser.parse_args(["figure", "--name", "fig2",
                                "--simulator", "flux-capacitor"])
+
+
+# ---------------------------------------------------------------------------
+# Window scheduler: knob resolution and property-based equivalence
+# ---------------------------------------------------------------------------
+class _LinearTransform:
+    """Dense matmul transform that advertises zero-preservation.
+
+    The window scheduler only engages when every hidden transform maps
+    all-zero PSCs to all-zero drive (``zero_preserving``); plain lambdas --
+    as in :func:`hand_built_simulator` -- lack the attribute and fall back
+    to the dense fused path, so these tests declare it explicitly.
+    """
+
+    zero_preserving = True
+
+    def __init__(self, weight):
+        self.weight = weight
+
+    def __call__(self, psc):
+        return psc @ self.weight
+
+
+class TestWindowedKnob:
+    def test_default_is_on(self):
+        assert resolve_sim_windowed() is True
+
+    def test_explicit_request_wins(self, monkeypatch):
+        monkeypatch.setenv(SIM_WINDOWED_ENV, "1")
+        set_sim_windowed(True)
+        assert resolve_sim_windowed(False) is False
+        set_sim_windowed(False)
+        assert resolve_sim_windowed(True) is True
+
+    def test_override_beats_env(self, monkeypatch):
+        monkeypatch.setenv(SIM_WINDOWED_ENV, "1")
+        set_sim_windowed(False)
+        assert resolve_sim_windowed() is False
+        assert get_sim_windowed() is False
+        set_sim_windowed(None)
+        assert get_sim_windowed() is None
+        assert resolve_sim_windowed() is True
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("ON", True), ("yes", True),
+        ("0", False), ("false", False), ("Off", False), ("no", False),
+    ])
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv(SIM_WINDOWED_ENV, value)
+        assert resolve_sim_windowed() is expected
+
+    def test_env_invalid_value_raises(self, monkeypatch):
+        monkeypatch.setenv(SIM_WINDOWED_ENV, "sideways")
+        with pytest.raises(ValueError, match=SIM_WINDOWED_ENV):
+            resolve_sim_windowed()
+
+    def test_not_schedulable_without_zero_preserving(self, rng):
+        simulator = hand_built_simulator(
+            NEURON_FACTORIES["if-subtract"], num_steps=12,
+            readout_mode="batched", rng=rng,
+        )
+        assert simulator._window_schedulable is False
+
+    def test_windowed_not_a_fingerprint_dimension(self):
+        # Like REPRO_SIM_WORKERS, the scheduler changes no result bits, so
+        # sweep-plan fingerprints must not depend on it (unlike sim_backend,
+        # which is pinned into every timestep plan).
+        config = SweepConfig(
+            dataset="mnist", methods=(MethodSpec(coding="rate"),),
+            noise_kind="deletion", levels=(0.0,), scale=TEST_SCALE,
+            simulator="timestep",
+        )
+        set_sim_windowed(False)
+        off = build_sweep_plans(config)[0].fingerprint("0" * 64)
+        set_sim_windowed(True)
+        assert build_sweep_plans(config)[0].fingerprint("0" * 64) == off
+
+
+def _windowed_simulator(draw_seed, num_steps, num_hidden, readout_mode):
+    """Random simulator whose layers carry explicit protocol windows.
+
+    Windows are drawn adversarially: possibly empty (off-grid), a single
+    step, clipped at either edge of the global grid, or wide enough that an
+    IFB burst spills past the firing window end.
+    """
+    rng = np.random.default_rng(draw_seed)
+    features = [5] + [int(rng.integers(3, 7)) for _ in range(num_hidden)] + [3]
+    layers = []
+    for index in range(num_hidden):
+        start = int(rng.integers(0, num_steps + 4))
+        stop_kind = rng.integers(0, 4)
+        if stop_kind == 0:
+            stop = None
+        elif stop_kind == 1:
+            stop = start + 1  # single-step window
+        else:
+            stop = start + int(rng.integers(1, num_steps))
+        kind = ("if", "if-multi", "ttfs", "ifb")[int(rng.integers(0, 4))]
+        if kind == "if":
+            neuron = IFNeuron(0.3, fire_start=start, fire_stop=stop)
+        elif kind == "if-multi":
+            neuron = IFNeuron(0.3, allow_multiple_spikes=True,
+                              fire_start=start, fire_stop=stop)
+        elif kind == "ttfs":
+            neuron = TTFSNeuron(0.6, tau=9.0, fire_start=start, fire_stop=stop)
+        else:
+            neuron = IntegrateFireOrBurstNeuron(
+                0.4, target_duration=int(rng.integers(1, 5)),
+                fire_start=start, fire_stop=stop,
+            )
+        kernel_kind = rng.integers(0, 4)
+        kernel = np.zeros(num_steps)
+        if kernel_kind == 0:
+            pass  # all-zero kernel: upstream drive provably silent
+        elif kernel_kind == 1:
+            kernel[int(rng.integers(0, num_steps))] = rng.uniform(0.1, 1.0)
+        else:
+            k_lo = int(rng.integers(0, num_steps))
+            k_hi = int(rng.integers(k_lo + 1, num_steps + 1))
+            kernel[k_lo:k_hi] = rng.uniform(0.1, 1.0, size=k_hi - k_lo)
+        bias = None
+        bias_stop = None
+        if rng.integers(0, 2):
+            bias = rng.normal(0.0, 0.05, size=(1, features[index + 1]))
+            if rng.integers(0, 2):
+                bias_stop = int(rng.integers(0, num_steps + 1))
+        layers.append(SimulatorLayer(
+            transform=_LinearTransform(
+                rng.normal(0.0, 0.6, size=(features[index], features[index + 1]))
+            ),
+            neuron=neuron, name=f"hidden{index}", in_kernel=kernel,
+            step_bias=bias, bias_stop=bias_stop,
+        ))
+    readout_kernel = np.zeros(num_steps)
+    r_lo = int(rng.integers(0, num_steps))
+    readout_kernel[r_lo:] = rng.uniform(0.1, 1.0, size=num_steps - r_lo)
+    layers.append(SimulatorLayer(
+        transform=_LinearTransform(
+            rng.normal(0.0, 0.6, size=(features[-2], features[-1]))
+        ),
+        neuron=None, name="readout", in_kernel=readout_kernel,
+    ))
+    simulator = TimeSteppedSimulator(
+        layers, num_steps,
+        input_kernel=np.full(num_steps, 1.0 / num_steps),
+        readout_mode=readout_mode,
+    )
+    batch = int(rng.integers(1, 4))
+    counts = rng.integers(0, 3, size=(num_steps, batch, 5)).astype(np.int16)
+    support_kind = rng.integers(0, 4)
+    if support_kind == 0:
+        counts[:] = 0  # empty input train
+    elif support_kind == 1:
+        counts[1:] = 0  # single-step support
+    elif support_kind == 2:
+        lo = int(rng.integers(0, num_steps))
+        counts[:lo] = 0  # late-opening support
+    return simulator, SpikeTrainArray(counts)
+
+
+class TestWindowedEquivalence:
+    """Window-scheduled fused engine == dense fused == stepped, bit for bit."""
+
+    @given(
+        seed=hyp_st.integers(min_value=0, max_value=2**32 - 1),
+        num_steps=hyp_st.integers(min_value=4, max_value=28),
+        num_hidden=hyp_st.integers(min_value=1, max_value=3),
+        readout_mode=hyp_st.sampled_from(["batched", "per-step"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_random_windows_bit_identical(
+        self, seed, num_steps, num_hidden, readout_mode
+    ):
+        simulator, train = _windowed_simulator(
+            seed, num_steps, num_hidden, readout_mode
+        )
+        assert simulator._window_schedulable
+        stepped = simulator.run(train, record_spikes=True, backend="stepped",
+                                windowed=False)
+        dense = simulator.run(train, record_spikes=True, backend="fused",
+                              windowed=False)
+        windowed = simulator.run(train, record_spikes=True, backend="fused",
+                                 windowed=True)
+        for other in (dense, windowed):
+            assert other.spike_counts == stepped.spike_counts
+            for name in stepped.spike_trains:
+                assert np.array_equal(
+                    other.spike_trains[name].to_dense().counts,
+                    stepped.spike_trains[name].to_dense().counts,
+                ), name
+        # The scheduler replays the fused engine's exact float ops, so the
+        # readout is bit-identical to the dense fused engine (and only
+        # summation-order-close to the stepped one).
+        assert np.array_equal(windowed.output_potential, dense.output_potential)
+        np.testing.assert_allclose(
+            windowed.output_potential, stepped.output_potential, atol=1e-6
+        )
+
+    @given(seed=hyp_st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_events_input_matches_dense_input(self, seed):
+        simulator, train = _windowed_simulator(seed, 16, 2, "batched")
+        from_dense = simulator.run(train, record_spikes=True, windowed=True)
+        from_events = simulator.run(train.to_events(), record_spikes=True,
+                                    windowed=True)
+        assert from_dense.spike_counts == from_events.spike_counts
+        assert np.array_equal(
+            from_dense.output_potential, from_events.output_potential
+        )
+
+    def test_burst_spill_past_window_end(self):
+        # An IFB neuron firing at the very end of its window bursts for
+        # target_duration steps past fire_stop; the scheduler must keep
+        # advancing through the spill.
+        num_steps = 20
+        kernel = np.zeros(num_steps)
+        kernel[4:10] = 0.5
+        layers = [
+            SimulatorLayer(
+                transform=_LinearTransform(np.full((2, 2), 2.5)),
+                neuron=IntegrateFireOrBurstNeuron(
+                    0.4, target_duration=6, fire_start=4, fire_stop=10
+                ),
+                name="hidden0", in_kernel=np.full(num_steps, 0.4),
+            ),
+            SimulatorLayer(
+                transform=_LinearTransform(np.eye(2)),
+                neuron=None, name="readout", in_kernel=kernel,
+            ),
+        ]
+        simulator = TimeSteppedSimulator(
+            layers, num_steps, input_kernel=np.full(num_steps, 1.0)
+        )
+        counts = np.zeros((num_steps, 1, 2), dtype=np.int16)
+        counts[8] = 1  # drives a burst near the window end
+        train = SpikeTrainArray(counts)
+        stepped = simulator.run(train, record_spikes=True, backend="stepped")
+        windowed = simulator.run(train, record_spikes=True, backend="fused",
+                                 windowed=True)
+        spikes = windowed.spike_trains["hidden0"].to_dense().counts
+        assert spikes[10:].any()  # the burst really spills past fire_stop
+        assert np.array_equal(
+            spikes, stepped.spike_trains["hidden0"].to_dense().counts
+        )
+
+    def test_off_grid_window_is_empty(self):
+        # A layer whose firing window starts past the global grid never
+        # advances at all; spikes must still be recorded as all-zero.
+        num_steps = 8
+        layers = [
+            SimulatorLayer(
+                transform=_LinearTransform(np.eye(3)),
+                neuron=IFNeuron(0.3, fire_start=50),
+                name="hidden0", in_kernel=np.full(num_steps, 0.4),
+            ),
+            SimulatorLayer(
+                transform=_LinearTransform(np.eye(3)),
+                neuron=None, name="readout", in_kernel=np.full(num_steps, 0.2),
+            ),
+        ]
+        simulator = TimeSteppedSimulator(
+            layers, num_steps, input_kernel=np.full(num_steps, 1.0)
+        )
+        train = SpikeTrainArray(np.ones((num_steps, 2, 3), dtype=np.int16))
+        stepped = simulator.run(train, record_spikes=True, backend="stepped")
+        windowed = simulator.run(train, record_spikes=True, backend="fused",
+                                 windowed=True)
+        assert windowed.spike_counts["hidden0"] == 0
+        assert windowed.spike_counts == stepped.spike_counts
+        assert np.array_equal(
+            windowed.output_potential, stepped.output_potential
+        )
