@@ -33,7 +33,15 @@ so the performance trajectory is tracked across PRs (and gated by the CI
   These micro-latencies are scheduler-, fork- and filesystem-bound, which
   the GEMM/memcpy machine calibration cannot normalise, so the regression
   gate records them for trend tracking but does not judge them (see
-  ``_NON_TIMING_KEYS`` in ``check_bench_regression.py``).
+  ``_NON_TIMING_KEYS`` in ``check_bench_regression.py``),
+* **cell sharding** -- one faithful-simulator sweep cell (TTAS(3) on the
+  test-scale mnist MLP) evaluated end to end through ``evaluate_plans`` at
+  1 / 2 / 4 / 8 sample shards on a matching process pool.  The wall-clock
+  numbers are core-count-bound (``cpu_count`` is recorded in the section
+  config), so the section sits under ``_NON_TIMING_KEYS`` for trend
+  tracking only; the *same-run* 1-shard/4-shard ratio is exported as
+  ``summary.cell_sharding_speedup`` and gated by CI via
+  ``--min-shard-speedup``.
 
 A small machine calibration (fixed-size GEMM + memcpy) is also recorded so
 the CI regression gate can normalise away absolute machine-speed differences.
@@ -130,6 +138,15 @@ DISPATCH_CELLS = 64
 
 #: Store operations per timing sample in the orchestration benchmark.
 STORE_OPS = 16
+
+#: Shard counts of the cell-sharding benchmark (1 = unsharded reference;
+#: each count gets a process pool with that many workers).
+SHARD_COUNTS = (1, 2, 4, 8)
+
+#: Shape of the cell-sharding benchmark cell: eval_size / batch_size = 8
+#: whole batches, so every count in :data:`SHARD_COUNTS` divides into
+#: batch-aligned shards.
+SHARD_CELL = {"eval_size": 64, "batch_size": 8}
 
 
 def _time(fn: Callable[[], object], repeats: int) -> float:
@@ -545,6 +562,101 @@ def bench_sweep_orchestration(repeats: int) -> Dict[str, Dict[str, float]]:
     return results
 
 
+def bench_cell_sharding(repeats: int) -> Dict[str, Dict[str, float]]:
+    """Time one faithful-simulator sweep cell at increasing shard counts.
+
+    A single TTAS(3) deletion cell on the test-scale mnist MLP is evaluated
+    end to end through ``evaluate_plans`` -- the timestep simulator, the
+    noise corruption and the accuracy readout included -- once unsharded and
+    once per shard count, each on a process pool sized to the shard count.
+    Results are bit-identical at every count (asserted below), so the only
+    thing that varies is the wall clock.
+
+    The absolute timings scale with the machine's core count (recorded as
+    ``config.cpu_count``), which the GEMM calibration cannot normalise, so
+    the section is trend-only for the regression gate; the same-run
+    1-shard/4-shard ratio becomes ``summary.cell_sharding_speedup``.
+    """
+    from repro.execution import (
+        ProcessExecutor,
+        WorkloadRef,
+        build_sweep_plans,
+        evaluate_plans,
+        register_workload,
+    )
+    from repro.experiments.config import TEST_SCALE, MethodSpec, SweepConfig
+    from repro.experiments.workloads import prepare_workload
+
+    config = SweepConfig(
+        dataset="mnist",
+        methods=(MethodSpec(coding="ttas", target_duration=3),),
+        noise_kind="deletion",
+        levels=(0.3,),
+        scale=TEST_SCALE,
+        seed=0,
+        simulator="timestep",
+    )
+    workload = prepare_workload("mnist", scale=TEST_SCALE, seed=0,
+                                use_cache=False)
+    ref = WorkloadRef.from_sweep_config(config, use_cache=False)
+    plans = build_sweep_plans(config, eval_size=SHARD_CELL["eval_size"],
+                              batch_size=SHARD_CELL["batch_size"],
+                              use_cache=False)
+    # The process backend forks; registering in the parent hands every
+    # worker the trained workload through copy-on-write memory.
+    register_workload(ref, workload)
+
+    # The cell takes seconds, not microseconds -- a third of the micro-op
+    # repeats is plenty for a stable median.
+    shard_repeats = max(3, repeats // 3)
+    seconds: Dict[str, float] = {}
+    accuracies = {}
+    for count in SHARD_COUNTS:
+        executor = ProcessExecutor(max_workers=count)
+        try:
+            # Warm the pool so the timed runs exclude fork/startup costs.
+            list(executor.map_unordered(_noop_cell, [0]))
+
+            def run():
+                return evaluate_plans(plans, executor=executor, store=False,
+                                      workloads={ref: workload}, shards=count)
+
+            seconds[f"shards_{count}"] = _time(run, shard_repeats)
+            accuracies[count] = [r.accuracy for r in run().results]
+        finally:
+            executor.close()
+    reference = accuracies[SHARD_COUNTS[0]]
+    assert all(acc == reference for acc in accuracies.values()), \
+        "sharded cell results diverged from the unsharded reference"
+
+    base = seconds["shards_1"]
+    results = {
+        "config": {
+            "dataset": config.dataset,
+            "scale": TEST_SCALE.name,
+            "simulator": config.simulator,
+            "coding": "ttas(3)",
+            "eval_size": SHARD_CELL["eval_size"],
+            "batch_size": SHARD_CELL["batch_size"],
+            "cpu_count": os.cpu_count() or 1,
+            "repeats": shard_repeats,
+        },
+        "cell_seconds": seconds,
+        "speedup_over_unsharded": {
+            key: base / value for key, value in seconds.items()
+        },
+    }
+    print(f"\ncell sharding (mnist {TEST_SCALE.name}-scale ttas(3) timestep "
+          f"cell, {SHARD_CELL['eval_size']} samples / batch "
+          f"{SHARD_CELL['batch_size']}, {os.cpu_count() or 1} cpu(s))")
+    print(f"  {'shards':<10}{'cell':>12}{'speedup':>10}")
+    for count in SHARD_COUNTS:
+        key = f"shards_{count}"
+        print(f"  {count:<10}{seconds[key] * 1e3:>10.0f}ms"
+              f"{results['speedup_over_unsharded'][key]:>9.2f}x")
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--population", type=int, default=4096,
@@ -590,6 +702,7 @@ def main(argv=None) -> int:
     report["results"]["analog_forward"] = bench_analog_forward(args.repeats)
     report["results"]["timestep_sim"] = bench_timestep_sim(args.repeats)
     report["results"]["sweep_orchestration"] = bench_sweep_orchestration(args.repeats)
+    report["results"]["cell_sharding"] = bench_cell_sharding(args.repeats)
 
     chain_speedups = {
         name: result["speedup_dense_over_events"]["delete_jitter_decode"]
@@ -608,6 +721,9 @@ def main(argv=None) -> int:
         "timestep_windowed_speedup": report["results"]["timestep_sim"][
             "mlp_deep_ttas3"
         ]["speedup_unscheduled_over_windowed"],
+        "cell_sharding_speedup": report["results"]["cell_sharding"][
+            "speedup_over_unsharded"
+        ]["shards_4"],
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)

@@ -10,7 +10,9 @@ Beyond per-leaf slowdowns the gate also fails when a whole baseline section
 disappears from the candidate report (a dropped section whose timings are all
 non-gated would otherwise lose coverage silently), and -- with
 ``--min-windowed-speedup`` -- when the candidate's same-run window-scheduler
-speedup on the deep temporal stack falls below the required factor.
+speedup on the deep temporal stack falls below the required factor, or
+-- with ``--min-shard-speedup`` -- when the same-run 4-way sample-sharding
+speedup of a faithful-simulator cell does.
 
 Absolute timings are not comparable across machines, so every ratio is
 normalised by the *calibration ratio*: both reports record the median time of
@@ -52,9 +54,12 @@ DEFAULT_TOLERANCE = 1.5
 #: ("dispatch_per_cell", "store") are scheduler-, fork- and
 #: filesystem-bound micro-latencies, and the GEMM/memcpy machine
 #: calibration tracks CPU speed only, so gating them would flag runner
-#: differences as code regressions.  They stay in the report for trend
+#: differences as code regressions, and the cell-sharding wall clocks are
+#: core-count-bound (the same-run speedup ratio is gated separately via
+#: ``--min-shard-speedup`` instead).  They stay in the report for trend
 #: tracking.
-_NON_TIMING_KEYS = ("config", "sparsity", "max_abs_diff", "dispatch_per_cell", "store")
+_NON_TIMING_KEYS = ("config", "sparsity", "max_abs_diff", "dispatch_per_cell",
+                    "store", "cell_sharding")
 
 
 def iter_timings(results: Dict, prefix: str = "") -> Iterator[Tuple[str, float]]:
@@ -192,6 +197,31 @@ def check_windowed_speedup(candidate: Dict, minimum: float) -> Tuple[bool, str]:
     )
 
 
+def check_shard_speedup(candidate: Dict, minimum: float) -> Tuple[bool, str]:
+    """Require the candidate's cell-sharding speedup to meet ``minimum``.
+
+    The speedup (``summary.cell_sharding_speedup``) is a same-run,
+    same-machine ratio -- one faithful-simulator cell unsharded over the
+    same cell split into 4 sample shards on a 4-worker process pool -- so
+    no calibration normalisation applies.
+    """
+    speedup = (candidate.get("summary") or {}).get("cell_sharding_speedup")
+    if speedup is None:
+        return False, (
+            "FAIL: candidate report has no summary.cell_sharding_speedup "
+            "(bench_hot_paths.py too old?)"
+        )
+    if float(speedup) < minimum:
+        return False, (
+            f"FAIL: cell-sharding speedup {float(speedup):.2f}x is below "
+            f"the required {minimum:.2f}x at 4 shards"
+        )
+    return True, (
+        f"cell-sharding speedup {float(speedup):.2f}x "
+        f">= required {minimum:.2f}x"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=BASELINE_PATH,
@@ -205,6 +235,11 @@ def main(argv=None) -> int:
                         help="additionally require the candidate's "
                              "summary.timestep_windowed_speedup (deep "
                              "temporal stack, unscheduled/windowed fused) "
+                             "to be at least this factor")
+    parser.add_argument("--min-shard-speedup", type=float, default=None,
+                        help="additionally require the candidate's "
+                             "summary.cell_sharding_speedup (same-run "
+                             "unsharded/4-shard faithful-simulator cell) "
                              "to be at least this factor")
     args = parser.parse_args(argv)
 
@@ -232,6 +267,12 @@ def main(argv=None) -> int:
         )
         print(message)
         ok = ok and speedup_ok
+    if args.min_shard_speedup is not None:
+        shard_ok, message = check_shard_speedup(
+            candidate, args.min_shard_speedup
+        )
+        print(message)
+        ok = ok and shard_ok
     return 0 if ok else 1
 
 

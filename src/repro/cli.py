@@ -12,9 +12,13 @@ Three subcommands cover the common workflows::
 single noise condition through the end-to-end pipeline.
 
 Sweep execution is controlled by ``--executor`` (serial / thread / process;
-also via ``REPRO_SWEEP_EXECUTOR``), ``--max-workers`` and the optional
+also via ``REPRO_SWEEP_EXECUTOR``), ``--max-workers``, ``--shards`` (sample
+shards per sweep cell, also via ``REPRO_SWEEP_SHARDS``; by default cells are
+auto-sharded only when a pooled dispatch would leave workers idle, and
+results are bit-identical at any shard count) and the optional
 ``--result-store DIR`` (also via ``REPRO_RESULT_STORE``), which caches every
-evaluated (dataset, method, level) cell on disk so interrupted sweeps resume
+evaluated (dataset, method, level) cell -- and every shard of an in-flight
+sharded cell -- on disk so interrupted sweeps resume
 and re-runs are incremental.  ``--spike-backend``, ``--analog-backend``,
 ``--batch-size`` and ``--simulator`` select the evaluation backends for all
 three subcommands; ``--simulator timestep`` runs the faithful time-stepped
@@ -119,6 +123,12 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
                         help="content-addressed on-disk cell cache; resumes "
                              "interrupted sweeps and skips already evaluated "
                              "cells (default: REPRO_RESULT_STORE, else off)")
+    parser.add_argument("--shards", type=int, default=None,
+                        help="sample shards per sweep cell (1 = off; "
+                             "default: REPRO_SWEEP_SHARDS, else automatic -- "
+                             "shard only when a pooled dispatch has fewer "
+                             "cells than workers); results are bit-identical "
+                             "at any shard count")
     parser.add_argument("--methods", nargs="+", default=None, metavar="LABEL",
                         help="run only the curves with these display labels "
                              "(e.g. Rate Phase 'TTAS(5)+WS'); labels that "
@@ -184,6 +194,7 @@ def _run_figure(args: argparse.Namespace) -> str:
         store=args.result_store, spike_backend=args.spike_backend,
         analog_backend=args.analog_backend, batch_size=args.batch_size,
         simulator=args.simulator, method_filter=args.methods,
+        shards=args.shards,
     )
     return format_figure_series(result, f"{args.name} ({args.dataset})")
 
@@ -196,7 +207,7 @@ def _run_table(args: argparse.Namespace) -> str:
         executor=args.executor, store=args.result_store,
         spike_backend=args.spike_backend, analog_backend=args.analog_backend,
         batch_size=args.batch_size, simulator=args.simulator,
-        method_filter=args.methods,
+        method_filter=args.methods, shards=args.shards,
     )
     return format_table_rows(result, args.name)
 

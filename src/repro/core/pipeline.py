@@ -269,6 +269,7 @@ class NoiseRobustSNN:
         dead: float = 0.0,
         stuck: float = 0.0,
         burst_error: float = 0.0,
+        sample_offset: int = 0,
     ) -> EvaluationResult:
         """Evaluate the SNN under the given noise levels.
 
@@ -297,6 +298,13 @@ class NoiseRobustSNN:
             masks are additionally applied inside the simulator to each
             spiking layer's emitted spikes (burst errors hit the input
             train, the only place a transmission window exists).
+        sample_offset:
+            Absolute position of ``x[0]`` within the full evaluation this
+            call is a part of.  Non-zero when evaluating one sample shard of
+            a larger cell: per-batch noise streams are keyed by absolute
+            sample offsets, so a batch-aligned shard passing its start
+            offset reproduces exactly the noise the unsharded evaluation
+            would apply to the same samples.
         """
         check_probability("deletion", deletion)
         check_non_negative("jitter", jitter)
@@ -323,6 +331,7 @@ class NoiseRobustSNN:
             analog_backend=self.analog_backend,
             batch_size=batch_size,
             rng=rng,
+            sample_offset=sample_offset,
         )
         if self.simulator == "timestep":
             result: TransportResult = evaluate_timestep(

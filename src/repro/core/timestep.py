@@ -41,8 +41,8 @@ from repro.nn.layers import Layer, MaxPool2D, ReLU
 from repro.nn.layers import analog_backend as analog_backend_scope
 from repro.noise.base import SpikeNoise
 from repro.snn.simulator import LayerFaultMask, SimulatorLayer, TimeSteppedSimulator
-from repro.utils.rng import RngLike, default_rng, derive_rng
-from repro.utils.validation import check_positive
+from repro.utils.rng import RngLike, derive_rng, derive_rng_at, stream_root
+from repro.utils.validation import check_non_negative, check_positive
 
 
 class _SegmentTransform:
@@ -255,6 +255,7 @@ def evaluate_timestep(
     rng: RngLike = None,
     dead: float = 0.0,
     stuck: float = 0.0,
+    sample_offset: int = 0,
 ) -> TransportResult:
     """Evaluate a converted network with the faithful time-stepped simulator.
 
@@ -286,6 +287,9 @@ def evaluate_timestep(
       layer-sequential temporal codes.
     """
     check_positive("batch_size", batch_size)
+    check_non_negative("sample_offset", sample_offset)
+    batch_size = int(batch_size)
+    sample_offset = int(sample_offset)
     x = np.asarray(x, dtype=np.float32)
     labels = None if labels is None else np.asarray(labels)
     if np.any(x < 0):
@@ -299,23 +303,30 @@ def evaluate_timestep(
     simulator = build_time_stepped_simulator(
         network,
         coder,
-        batch_input_shape=(min(int(batch_size), max(num_samples, 1)),) + x.shape[1:],
+        batch_input_shape=(min(batch_size, max(num_samples, 1)),) + x.shape[1:],
         threshold=threshold,
         kernel_scale=factor,
         sim_backend=sim_backend,
         sim_windowed=sim_windowed,
     )
     spiking_layers = [layer.name for layer in simulator.layers if layer.neuron is not None]
-    generator = default_rng(rng)
+    # Per-batch noise streams derive statelessly from the cell root and the
+    # batch's *absolute* sample offset (see
+    # :meth:`ActivationTransportSimulator.evaluate` for the sharding
+    # contract): a shard starting at a batch-aligned offset ``s0`` passes
+    # ``sample_offset=s0`` and reproduces the unsharded run's streams.
+    root = stream_root(rng)
 
     correct = 0
     total_spikes: Dict[int, int] = {}
     with ExitStack() as stack:
         if analog_backend is not None:
             stack.enter_context(analog_backend_scope(analog_backend))
-        for start in range(0, num_samples, int(batch_size)):
-            batch = x[start:start + int(batch_size)]
+        for start in range(0, num_samples, batch_size):
+            stop = start + batch_size
+            batch = x[start:stop]
             normalised = batch / network.input_scale
+            generator = derive_rng_at(root, "batch", sample_offset + start)
             train = coder.encode(
                 normalised,
                 rng=derive_rng(generator, "encode", 0),
@@ -339,8 +350,7 @@ def evaluate_timestep(
                 }
             record = simulator.run(train, layer_faults=layer_faults)
             if labels is not None:
-                batch_labels = labels[start:start + int(batch_size)]
-                correct += int((record.predictions == batch_labels).sum())
+                correct += int((record.predictions == labels[start:stop]).sum())
             total_spikes[0] = total_spikes.get(0, 0) + train.total_spikes()
             for interface, name in enumerate(spiking_layers, start=1):
                 total_spikes[interface] = (

@@ -38,8 +38,8 @@ from repro.conversion.converter import ConvertedSNN
 from repro.core.weight_scaling import WeightScaling
 from repro.nn.layers import analog_backend as analog_backend_scope
 from repro.noise.base import SpikeNoise
-from repro.utils.rng import RngLike, default_rng, derive_rng
-from repro.utils.validation import check_positive
+from repro.utils.rng import RngLike, default_rng, derive_rng, derive_rng_at, stream_root
+from repro.utils.validation import check_non_negative, check_positive
 
 
 @dataclass
@@ -193,23 +193,39 @@ class ActivationTransportSimulator:
         batch_size: int = 16,
         rng: RngLike = None,
         keep_logits: bool = False,
+        sample_offset: int = 0,
     ) -> TransportResult:
-        """Evaluate accuracy and spike counts over a dataset slice."""
+        """Evaluate accuracy and spike counts over a dataset slice.
+
+        Every batch draws its noise from a stream derived statelessly from
+        ``(rng's first draw, "batch", sample_offset + batch start)`` -- the
+        batch's *absolute* position in the full evaluation, not its position
+        in this call.  A shard covering samples ``[s0, s1)`` of a larger
+        evaluation therefore reproduces bit-identical per-batch noise by
+        passing ``sample_offset=s0``, provided ``s0`` is a multiple of
+        ``batch_size`` so the batch boundaries line up with the unsharded
+        run's.
+        """
         check_positive("batch_size", batch_size)
+        check_non_negative("sample_offset", sample_offset)
         x = np.asarray(x, dtype=np.float32)
         labels = None if labels is None else np.asarray(labels)
-        generator = default_rng(rng)
+        root = stream_root(rng)
+        batch_size = int(batch_size)
+        sample_offset = int(sample_offset)
 
         correct = 0
         total_spikes: Dict[int, int] = {}
         all_logits: List[np.ndarray] = []
         num_samples = int(x.shape[0])
-        for start in range(0, num_samples, int(batch_size)):
-            batch = x[start:start + int(batch_size)]
-            logits, spikes = self.forward(batch, rng=generator)
+        for start in range(0, num_samples, batch_size):
+            stop = start + batch_size
+            batch = x[start:stop]
+            logits, spikes = self.forward(
+                batch, rng=derive_rng_at(root, "batch", sample_offset + start)
+            )
             if labels is not None:
-                batch_labels = labels[start:start + int(batch_size)]
-                correct += int((logits.argmax(axis=1) == batch_labels).sum())
+                correct += int((logits.argmax(axis=1) == labels[start:stop]).sum())
             for key, value in spikes.items():
                 total_spikes[key] = total_spikes.get(key, 0) + value
             if keep_logits:
@@ -239,6 +255,7 @@ def evaluate_transport(
     batch_size: int = 16,
     rng: RngLike = None,
     keep_logits: bool = False,
+    sample_offset: int = 0,
 ) -> TransportResult:
     """Evaluate a converted network under a coder + noise model, purely.
 
@@ -259,5 +276,6 @@ def evaluate_transport(
         analog_backend=analog_backend,
     )
     return simulator.evaluate(
-        x, labels, batch_size=batch_size, rng=rng, keep_logits=keep_logits
+        x, labels, batch_size=batch_size, rng=rng, keep_logits=keep_logits,
+        sample_offset=sample_offset,
     )

@@ -16,6 +16,7 @@ and runs batches of plans through a pluggable :class:`Executor` backend
 from repro.execution.engine import (
     CELL_RETRIES_ENV,
     CELL_TIMEOUT_ENV,
+    SWEEP_SHARDS_ENV,
     CellEvaluationError,
     CellFailure,
     ExecutionStats,
@@ -27,6 +28,7 @@ from repro.execution.engine import (
     register_workload,
     resolve_cell_retries,
     resolve_cell_timeout,
+    resolve_sweep_shards,
     workload_for,
 )
 from repro.execution.executors import (
@@ -45,7 +47,9 @@ from repro.execution.plan import (
     WorkloadRef,
     build_sweep_plans,
     evaluate_plan,
+    merge_shard_results,
     network_fingerprint,
+    shard_fingerprint,
 )
 from repro.execution.store import (
     RESULT_STORE_ENV,
@@ -59,7 +63,9 @@ __all__ = [
     "WorkloadRef",
     "build_sweep_plans",
     "evaluate_plan",
+    "merge_shard_results",
     "network_fingerprint",
+    "shard_fingerprint",
     "Executor",
     "SerialExecutor",
     "ThreadExecutor",
@@ -77,8 +83,10 @@ __all__ = [
     "CellFailure",
     "CELL_RETRIES_ENV",
     "CELL_TIMEOUT_ENV",
+    "SWEEP_SHARDS_ENV",
     "resolve_cell_retries",
     "resolve_cell_timeout",
+    "resolve_sweep_shards",
     "ExecutionStats",
     "PlanEvaluation",
     "evaluate_plans",

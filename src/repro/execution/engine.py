@@ -6,10 +6,17 @@ tables, benchmarks, CLI) funnels through.  Given a list of
 
 1. resolves each plan's workload (preparing and memoising it per process),
 2. computes the plan fingerprints and serves store hits without evaluating,
-3. fans the remaining cells out over the selected executor backend,
-4. persists each freshly evaluated cell to the store *as it completes*, so
-   an interrupted run resumes from the cells already done,
-5. returns the results in plan order together with execution statistics.
+3. optionally splits each pending cell into batch-aligned **sample shards**
+   (explicit ``shards=`` / ``$REPRO_SWEEP_SHARDS``, or automatically when a
+   dispatch has fewer cells than pool workers), so a single cell can use
+   the whole pool,
+4. fans the resulting work items out over the selected executor backend,
+5. persists each freshly evaluated cell -- and each shard of a sharded
+   cell -- to the store *as it completes*, so an interrupted run resumes
+   from the cells (and shards) already done,
+6. merges shard results back into whole-cell results (bit-identical to the
+   unsharded evaluation; see :mod:`repro.execution.plan`) and returns them
+   in plan order together with execution statistics.
 
 Worker processes do not share the parent's memory (unless forked): the
 module-level :func:`execute_cell` rebuilds workloads from the plans'
@@ -22,6 +29,7 @@ workloads already known then.
 
 from __future__ import annotations
 
+import math
 import os
 import threading
 import time
@@ -36,7 +44,9 @@ from repro.execution.plan import (
     EvaluationPlan,
     WorkloadRef,
     evaluate_plan,
+    merge_shard_results,
     network_fingerprint,
+    shard_fingerprint,
 )
 from repro.execution.store import ResultStore, resolve_store
 from repro.utils.logging import get_logger
@@ -141,7 +151,15 @@ class CellFailure:
 
 @dataclass
 class ExecutionStats:
-    """What one :func:`evaluate_plans` call actually did."""
+    """What one :func:`evaluate_plans` call actually did.
+
+    ``evaluated_cells`` and ``store_hits`` stay cell-granular regardless of
+    sharding: a cell assembled from freshly evaluated shards counts as one
+    evaluated cell, a cell merged entirely from stored shard documents
+    counts as one store hit.  The shard-level traffic is reported
+    separately (``sharded_cells``, ``evaluated_shards``,
+    ``shard_store_hits``).
+    """
 
     executor: str
     total_cells: int = 0
@@ -149,6 +167,9 @@ class ExecutionStats:
     store_hits: int = 0
     store_writes: int = 0
     failed_cells: int = 0
+    sharded_cells: int = 0
+    evaluated_shards: int = 0
+    shard_store_hits: int = 0
 
     def as_dict(self) -> Dict[str, Union[str, int]]:
         return {
@@ -158,6 +179,9 @@ class ExecutionStats:
             "store_hits": self.store_hits,
             "store_writes": self.store_writes,
             "failed_cells": self.failed_cells,
+            "sharded_cells": self.sharded_cells,
+            "evaluated_shards": self.evaluated_shards,
+            "shard_store_hits": self.shard_store_hits,
         }
 
 
@@ -383,6 +407,70 @@ def evaluate_cell_tolerant(
     )
 
 
+#: Environment variable: sample shards per cell (unset = automatic; 1 =
+#: sharding off; >= 2 = split every pending cell into that many shards).
+SWEEP_SHARDS_ENV = "REPRO_SWEEP_SHARDS"
+
+
+def resolve_sweep_shards(shards: Optional[int] = None) -> Optional[int]:
+    """Resolve the shards-per-cell setting (argument > env > auto).
+
+    ``None`` means *automatic*: :func:`evaluate_plans` shards only when a
+    dispatch would otherwise leave pool workers idle (fewer pending cells
+    than workers).  An explicit count applies to every pending cell --
+    ``1`` forces sharding off.
+    """
+    if shards is None:
+        env = os.environ.get(SWEEP_SHARDS_ENV, "").strip()
+        if not env:
+            return None
+        try:
+            shards = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{SWEEP_SHARDS_ENV} must be an integer, got {env!r}"
+            ) from None
+    shards = int(shards)
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    return shards
+
+
+def _auto_shard_count(backend: Executor, pending: int) -> int:
+    """Pick a shards-per-cell count for a dispatch, when not set explicitly.
+
+    Sharding pays off exactly when the dispatch cannot fill the pool:
+    ``pending`` cells on ``workers`` workers leaves ``workers - pending``
+    of them idle, so each cell is split into ``ceil(workers / pending)``
+    sample shards.  Off (1) on the serial backend, on one-worker pools,
+    and whenever there are at least as many cells as workers.
+    """
+    workers = int(getattr(backend, "max_workers", 1) or 1)
+    if backend.name == "serial" or workers <= 1 or pending <= 0 or pending >= workers:
+        return 1
+    count = math.ceil(workers / pending)
+    logger.info(
+        "auto-shard: %d pending cell(s) on %d %s worker(s) -> "
+        "%d sample shard(s) per cell",
+        pending, workers, backend.name, count,
+    )
+    return count
+
+
+@dataclass
+class _ShardedCell:
+    """In-flight bookkeeping of one cell split into sample shards."""
+
+    plans: List[EvaluationPlan]
+    results: List[Optional[EvaluationResult]]
+    cell_fingerprint: Optional[str] = None
+    fingerprints: Optional[List[str]] = None
+    failed: bool = False
+
+    def completed(self) -> bool:
+        return all(result is not None for result in self.results)
+
+
 def evaluate_plans(
     plans: Sequence[EvaluationPlan],
     executor: Union[str, Executor, None] = None,
@@ -392,6 +480,7 @@ def evaluate_plans(
     retries: Optional[int] = None,
     cell_timeout: Optional[float] = None,
     retry_backoff: float = RETRY_BACKOFF_BASE,
+    shards: Optional[int] = None,
 ) -> PlanEvaluation:
     """Evaluate a batch of plans through the executor + store machinery.
 
@@ -424,10 +513,25 @@ def evaluate_plans(
         ``stats.failed_cells``) instead of aborting the batch.
     retry_backoff:
         First retry delay in seconds (doubles per attempt; tests shrink it).
+    shards:
+        Sample shards per pending cell (``None`` = honour
+        ``$REPRO_SWEEP_SHARDS``, falling back to the automatic heuristic:
+        shard only when a pooled dispatch has fewer cells than workers).
+        Sharded cells evaluate their batch-aligned sample ranges as
+        independent work items -- per-batch noise streams are keyed by
+        absolute sample offsets, so the merged result is bit-identical to
+        the unsharded evaluation at any shard count and on any executor.
+        With a store, each shard is persisted as it completes and an
+        interrupted run resumes at shard granularity; once a cell merges,
+        its shard documents are garbage-collected.  Fault tolerance
+        degrades per shard: a shard exhausting its retry budget records a
+        hole for its whole cell, but sibling shards that finished are still
+        persisted for resume.
     """
     plans = list(plans)
     retries = resolve_cell_retries(retries)
     cell_timeout = resolve_cell_timeout(cell_timeout)
+    shards = resolve_sweep_shards(shards)
     fault_tolerant = retries > 0 or cell_timeout is not None
     backend = resolve_executor(executor, max_workers)
     # Close a backend resolved here (the caller cannot reuse it); leave a
@@ -461,10 +565,69 @@ def evaluate_plans(
             pending = list(range(len(plans)))
 
         if pending:
-            # Completion order, not submission order: each finished cell is
-            # persisted the moment it exists, so a run killed while a slow
-            # cell is in flight never loses faster cells that already
-            # finished.
+            shard_count = (
+                shards if shards is not None
+                else _auto_shard_count(backend, len(pending))
+            )
+            # Work items are cells, or -- for cells split into sample
+            # shards -- the individual shards; ``work_targets`` maps each
+            # item back to its (plan index, shard slot) so completions can
+            # be routed.  Fault tolerance and timeouts wrap whatever the
+            # work item is, so a sharded cell retries and fails at shard
+            # granularity automatically.
+            work_plans: List[EvaluationPlan] = []
+            work_targets: List[Tuple[int, Optional[int]]] = []
+            sharded: Dict[int, _ShardedCell] = {}
+            for index in pending:
+                plan = plans[index]
+                cell_shards = plan.shards(shard_count) if shard_count > 1 else [plan]
+                if len(cell_shards) <= 1:
+                    work_plans.append(plan)
+                    work_targets.append((index, None))
+                    continue
+                stats.sharded_cells += 1
+                cell_fp = fingerprints.get(index)
+                state = _ShardedCell(
+                    plans=cell_shards,
+                    results=[None] * len(cell_shards),
+                    cell_fingerprint=cell_fp,
+                )
+                if result_store is not None and cell_fp is not None:
+                    total = plan.effective_eval_size()
+                    state.fingerprints = [
+                        shard_fingerprint(cell_fp, *shard.sample_range(), total)
+                        for shard in cell_shards
+                    ]
+                    # Resume at shard granularity: shards persisted by an
+                    # interrupted earlier run are served from disk and only
+                    # the remainder is dispatched.
+                    for slot, shard in enumerate(cell_shards):
+                        cached = result_store.get_shard(
+                            cell_fp, state.fingerprints[slot]
+                        )
+                        if cached is not None:
+                            state.results[slot] = cached
+                            stats.shard_store_hits += 1
+                if state.completed():
+                    # Every shard was already stored: the cell is a store
+                    # hit assembled from shard documents.
+                    merged = merge_shard_results(state.results)
+                    results[index] = merged
+                    stats.store_hits += 1
+                    if _store_result(result_store, cell_fp, merged, plan):
+                        stats.store_writes += 1
+                    result_store.delete_shards(cell_fp)
+                    continue
+                sharded[index] = state
+                for slot, shard in enumerate(cell_shards):
+                    if state.results[slot] is None:
+                        work_plans.append(shard)
+                        work_targets.append((index, slot))
+
+            # Completion order, not submission order: each finished cell
+            # (or shard) is persisted the moment it exists, so a run killed
+            # while a slow item is in flight never loses faster items that
+            # already finished.
             if fault_tolerant:
                 work = partial(
                     evaluate_cell_tolerant,
@@ -472,23 +635,63 @@ def evaluate_plans(
                 )
             else:
                 work = execute_cell
-            evaluated = backend.map_unordered(work, [plans[i] for i in pending])
+            evaluated = backend.map_unordered(work, work_plans)
             for position, result in evaluated:
-                index = pending[position]
-                results[index] = result
-                if isinstance(result, CellFailure):
-                    stats.failed_cells += 1
-                    logger.warning(
-                        "cell %s failed after %d attempt(s); recording a "
-                        "hole: %s", plans[index].cell_id(), result.attempts,
-                        result.message,
-                    )
+                index, slot = work_targets[position]
+                if slot is None:
+                    results[index] = result
+                    if isinstance(result, CellFailure):
+                        stats.failed_cells += 1
+                        logger.warning(
+                            "cell %s failed after %d attempt(s); recording a "
+                            "hole: %s", plans[index].cell_id(), result.attempts,
+                            result.message,
+                        )
+                        continue
+                    stats.evaluated_cells += 1
+                    if result_store is not None and _store_result(
+                        result_store, fingerprints[index], result, plans[index]
+                    ):
+                        stats.store_writes += 1
                     continue
-                stats.evaluated_cells += 1
-                if result_store is not None and _store_result(
-                    result_store, fingerprints[index], result, plans[index]
+                state = sharded[index]
+                if isinstance(result, CellFailure):
+                    # The first failing shard takes the whole cell's slot;
+                    # siblings still run (and persist, for resume) but the
+                    # cell renders as one hole.
+                    if not state.failed:
+                        state.failed = True
+                        stats.failed_cells += 1
+                        results[index] = result
+                        logger.warning(
+                            "shard %s failed after %d attempt(s); recording "
+                            "a hole for the cell: %s",
+                            state.plans[slot].cell_id(), result.attempts,
+                            result.message,
+                        )
+                    continue
+                state.results[slot] = result
+                stats.evaluated_shards += 1
+                if (
+                    result_store is not None
+                    and state.fingerprints is not None
+                    and _store_shard_result(
+                        result_store, state.cell_fingerprint,
+                        state.fingerprints[slot], result, state.plans[slot],
+                    )
                 ):
                     stats.store_writes += 1
+                if state.failed or not state.completed():
+                    continue
+                merged = merge_shard_results(state.results)
+                results[index] = merged
+                stats.evaluated_cells += 1
+                if result_store is not None and state.cell_fingerprint is not None:
+                    if _store_result(
+                        result_store, state.cell_fingerprint, merged, plans[index]
+                    ):
+                        stats.store_writes += 1
+                    result_store.delete_shards(state.cell_fingerprint)
     finally:
         for ref in pinned:
             _BATCH_WORKLOADS.pop(ref, None)
@@ -517,5 +720,28 @@ def _store_result(
         logger.warning(
             "result store write failed for %s (%s); continuing without "
             "persisting this cell", plan.cell_id(), error,
+        )
+        return False
+
+
+def _store_shard_result(
+    result_store: ResultStore,
+    cell_fingerprint: str,
+    fingerprint: str,
+    result: EvaluationResult,
+    plan: EvaluationPlan,
+) -> bool:
+    """Persist one shard result; same degradation contract as cells."""
+    start, stop = plan.sample_range()
+    try:
+        result_store.put_shard(
+            cell_fingerprint, fingerprint, result,
+            dict(plan.describe(), shard=[start, stop]),
+        )
+        return True
+    except OSError as error:
+        logger.warning(
+            "shard store write failed for %s (%s); continuing without "
+            "persisting this shard", plan.cell_id(), error,
         )
         return False

@@ -13,15 +13,21 @@ The RNG contract is the one the parallel sweep engine has relied on since
 PR 1: the noise stream of a cell derives from ``(seed, "noise", method
 label, level)`` alone (see :meth:`EvaluationPlan.noise_rng`), which makes
 the realisation independent of which executor, worker or ordering evaluates
-the cell.
+the cell.  Within a cell, each evaluation batch's stream further derives
+from the batch's *absolute* sample offset (stateless, not
+batch-sequential), which is what lets a cell split into sample shards
+(:meth:`EvaluationPlan.shards`) that evaluate anywhere and merge
+(:func:`merge_shard_results`) into a result bit-identical to the unsharded
+cell.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
-from typing import TYPE_CHECKING, List, Optional, Tuple
+import math
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,7 +42,10 @@ if TYPE_CHECKING:  # pragma: no cover - cycle guard (experiments -> execution)
 #: Version prefix baked into every fingerprint; bump to invalidate every
 #: stored result after a semantic change to the evaluation path.
 #: Schema 2: plans gained the ``simulator`` dimension (transport/timestep).
-FINGERPRINT_SCHEMA = 2
+#: Schema 3: per-batch noise streams are keyed by absolute sample offsets
+#: (sample sharding) -- a different, equally valid realisation, so results
+#: evaluated under the old batch-sequential streams must not be served.
+FINGERPRINT_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -115,6 +124,20 @@ class EvaluationPlan:
         engines agree on spikes but only to float-summation order on
         potentials, so their results must not alias).  Always ``None`` for
         transport cells, which are engine-independent.
+    sample_start / sample_stop:
+        Sample-shard bounds, ``[sample_start, sample_stop)`` over the cell's
+        evaluation slice; both ``None`` (the default) for a whole-cell plan.
+        A shard is the unit of intra-cell parallelism: :func:`evaluate_plan`
+        evaluates only the shard's samples, deriving every batch's noise
+        stream from the *absolute* sample offset, so the per-shard results
+        merge (:func:`merge_shard_results`) into a result bit-identical to
+        the unsharded cell.  ``sample_start`` must be a multiple of
+        ``batch_size`` and ``sample_stop`` batch-aligned or equal to the
+        cell's effective eval size -- misaligned bounds would change the
+        batch boundaries and hence the noise realisation.  Shard bounds are
+        deliberately *excluded* from the cell description
+        (:meth:`describe`); a shard fingerprints as a derivation of its
+        cell's fingerprint (:func:`shard_fingerprint`).
     """
 
     workload: WorkloadRef
@@ -130,6 +153,8 @@ class EvaluationPlan:
     scaling_mode: str = "inverse"
     simulator: str = "transport"
     sim_backend: Optional[str] = None
+    sample_start: Optional[int] = None
+    sample_stop: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.simulator == "timestep":
@@ -140,6 +165,30 @@ class EvaluationPlan:
                 "sim_backend applies to timestep plans only; transport "
                 "cells are engine-independent"
             )
+        if (self.sample_start is None) != (self.sample_stop is None):
+            raise ValueError(
+                "sample_start and sample_stop must be set together "
+                f"(got sample_start={self.sample_start!r}, "
+                f"sample_stop={self.sample_stop!r})"
+            )
+        if self.sample_start is not None:
+            start, stop = int(self.sample_start), int(self.sample_stop)
+            total = self.effective_eval_size()
+            batch = int(self.batch_size)
+            if not 0 <= start < stop <= total:
+                raise ValueError(
+                    f"shard bounds [{start}, {stop}) must satisfy "
+                    f"0 <= start < stop <= {total} (the cell's eval size)"
+                )
+            if start % batch != 0 or (stop % batch != 0 and stop != total):
+                raise ValueError(
+                    f"shard bounds [{start}, {stop}) must align with "
+                    f"batch_size={batch} (stop may also equal the eval size "
+                    f"{total}): misaligned shards would change the batch "
+                    "boundaries and hence the noise realisation"
+                )
+            object.__setattr__(self, "sample_start", start)
+            object.__setattr__(self, "sample_stop", stop)
 
     # -- identity ------------------------------------------------------------------
     @property
@@ -152,10 +201,63 @@ class EvaluationPlan:
 
     def cell_id(self) -> str:
         """Human-readable cell identity used in logs and error messages."""
-        return (
+        label = (
             f"{self.dataset}/{self.method_label} "
             f"{self.noise_kind}={self.level:g}"
         )
+        if self.is_shard:
+            label += f" samples[{self.sample_start}:{self.sample_stop})"
+        return label
+
+    # -- sample sharding -----------------------------------------------------------
+    @property
+    def is_shard(self) -> bool:
+        """Whether this plan evaluates a sample shard of a larger cell."""
+        return self.sample_start is not None
+
+    def sample_range(self) -> Tuple[int, int]:
+        """The ``[start, stop)`` sample range this plan evaluates."""
+        if self.is_shard:
+            return int(self.sample_start), int(self.sample_stop)
+        return 0, self.effective_eval_size()
+
+    def cell_plan(self) -> "EvaluationPlan":
+        """The whole-cell plan this shard belongs to (self when unsharded)."""
+        if not self.is_shard:
+            return self
+        return replace(self, sample_start=None, sample_stop=None)
+
+    def shards(self, num_shards: int) -> List["EvaluationPlan"]:
+        """Split this cell into at most ``num_shards`` sample-shard plans.
+
+        Shards are contiguous, batch-aligned (whole batches, so per-batch
+        noise streams -- keyed by absolute sample offsets -- match the
+        unsharded run's exactly) and as even as possible.  Cells with fewer
+        batches than requested shards yield one shard per batch; asking for
+        one shard (or sharding a cell with a single batch) returns
+        ``[self]`` unchanged, so callers can shard unconditionally.
+        """
+        if self.is_shard:
+            raise ValueError(f"cannot re-shard shard plan {self.cell_id()}")
+        count = int(num_shards)
+        if count < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        total = self.effective_eval_size()
+        batch = int(self.batch_size)
+        num_batches = math.ceil(total / batch) if total else 0
+        count = min(count, num_batches)
+        if count <= 1:
+            return [self]
+        base, extra = divmod(num_batches, count)
+        plans: List[EvaluationPlan] = []
+        cursor = 0
+        for index in range(count):
+            take = base + (1 if index < extra else 0)
+            start = cursor * batch
+            cursor += take
+            stop = min(cursor * batch, total)
+            plans.append(replace(self, sample_start=start, sample_stop=stop))
+        return plans
 
     # -- RNG spec ------------------------------------------------------------------
     def rng_tags(self) -> Tuple[str, str, float]:
@@ -184,9 +286,12 @@ class EvaluationPlan:
         knobs (``use_cache``, ``cache_dir``) change where trained weights
         are stored, never what they are, and ``eval_size`` is normalised to
         its effective value -- so equivalent evaluations fingerprint (and
-        cache) identically.
+        cache) identically.  Shard bounds are excluded: the description is
+        the *cell's* canonical form, shared by every shard of the cell, and
+        shard identity enters only through :func:`shard_fingerprint`.
         """
         payload = asdict(self)
+        del payload["sample_start"], payload["sample_stop"]
         payload["workload"] = {
             "dataset": self.workload.dataset,
             "scale": asdict(self.workload.scale),
@@ -197,14 +302,15 @@ class EvaluationPlan:
         payload["schema"] = FINGERPRINT_SCHEMA
         return payload
 
-    def fingerprint(self, network_hash: str) -> str:
-        """Content address of this plan's result.
+    def cell_fingerprint(self, network_hash: str) -> str:
+        """Content address of the whole cell's result.
 
         The fingerprint covers the canonical plan description (workload
         reference, scale, seed, method, noise cell, backends, batch/eval
         sizes) *plus* the hash of the trained network actually evaluated, so
         a retrained or differently converted network never aliases a stored
-        result.
+        result.  Identical for every shard of a cell (shard bounds are not
+        part of the description).
         """
         blob = json.dumps(
             {"plan": self.describe(), "network": network_hash},
@@ -212,6 +318,77 @@ class EvaluationPlan:
             separators=(",", ":"),
         )
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def fingerprint(self, network_hash: str) -> str:
+        """Content address of this plan's result.
+
+        For a whole-cell plan this is :meth:`cell_fingerprint`; for a sample
+        shard it is the shard derivation of the cell fingerprint
+        (:func:`shard_fingerprint`), so shard documents never alias the
+        merged cell document or each other.
+        """
+        cell = self.cell_fingerprint(network_hash)
+        if not self.is_shard:
+            return cell
+        start, stop = self.sample_range()
+        return shard_fingerprint(cell, start, stop, self.effective_eval_size())
+
+
+def shard_fingerprint(
+    cell_fingerprint: str, start: int, stop: int, total: int
+) -> str:
+    """Content address of one sample shard, derived from its cell's.
+
+    Keyed by the cell fingerprint plus the absolute sample range (and the
+    cell's total, so re-slicing a resized cell never aliases): the engine
+    computes one cell fingerprint and derives every shard's address from it
+    without re-hashing the plan description per shard.
+    """
+    blob = json.dumps(
+        {
+            "cell": cell_fingerprint,
+            "shard": [int(start), int(stop)],
+            "samples": int(total),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def merge_shard_results(results: Sequence[EvaluationResult]) -> EvaluationResult:
+    """Merge per-shard results into the cell result, exactly.
+
+    Correct-prediction counts are recovered from each shard's accuracy
+    (``accuracy * num_samples`` is an integer up to float rounding, removed
+    by ``round``) and summed, spike totals sum exactly as integers, and the
+    merged accuracy / spikes-per-sample are the same single float divisions
+    the unsharded evaluation performs -- so a merged cell is bit-identical
+    to the cell evaluated in one piece.  A NaN shard accuracy (an unlabeled
+    evaluation) propagates to the merged cell.
+    """
+    if not results:
+        raise ValueError("cannot merge zero shard results")
+    first = results[0]
+    num_samples = sum(int(r.num_samples) for r in results)
+    total_spikes = sum(int(r.total_spikes) for r in results)
+    if num_samples == 0 or any(math.isnan(r.accuracy) for r in results):
+        accuracy = float("nan")
+    else:
+        correct = sum(int(round(r.accuracy * r.num_samples)) for r in results)
+        accuracy = correct / num_samples
+    return EvaluationResult(
+        accuracy=accuracy,
+        total_spikes=total_spikes,
+        spikes_per_sample=(
+            total_spikes / num_samples if num_samples else float("nan")
+        ),
+        coding=first.coding,
+        deletion=first.deletion,
+        jitter=first.jitter,
+        weight_scaling_factor=first.weight_scaling_factor,
+        num_samples=num_samples,
+    )
 
 
 def network_fingerprint(workload: PreparedWorkload) -> str:
@@ -287,15 +464,21 @@ def build_sweep_plans(
 
 
 def evaluate_plan(plan: EvaluationPlan, workload: PreparedWorkload) -> EvaluationResult:
-    """Evaluate one cell -- a pure function of (plan, prepared workload).
+    """Evaluate one cell (or one sample shard of a cell), purely.
 
     No state outside the two arguments influences the result: the pipeline
     is built from the plan, the data shard is the workload's deterministic
-    evaluation slice, and the noise stream derives from the plan's RNG spec.
-    This is the function every executor backend ultimately runs.
+    evaluation slice (cut down to the plan's sample range when the plan is a
+    shard), and the noise streams derive from the plan's RNG spec plus the
+    absolute sample offsets -- so the shards of a cell merge into exactly
+    the unsharded result.  This is the function every executor backend
+    ultimately runs.
     """
     pipeline = NoiseRobustSNN.from_plan(plan, workload.network)
     x, y = workload.evaluation_slice(plan.eval_size)
+    start, stop = plan.sample_range()
+    if plan.is_shard:
+        x, y = x[start:stop], y[start:stop]
     level = float(plan.level)
     noise_levels = {
         kind: level if plan.noise_kind == kind else 0.0
@@ -305,5 +488,6 @@ def evaluate_plan(plan: EvaluationPlan, workload: PreparedWorkload) -> Evaluatio
         x, y,
         batch_size=plan.batch_size,
         rng=plan.noise_rng(),
+        sample_offset=start,
         **noise_levels,
     )

@@ -17,6 +17,16 @@ weights)::
 
     <root>/workloads/<key[:2]>/<key>.json
 
+When the engine splits a cell into sample shards, each shard's result is
+persisted individually under the *cell's* fingerprint until every shard of
+the cell has landed and the merged cell document is written (the shard
+documents are then garbage-collected)::
+
+    <root>/shards/<cell_fp[:2]>/<cell_fp>/<shard_fp>.json
+
+A killed sharded run therefore resumes at shard granularity -- only the
+shards that never completed are re-evaluated.
+
 First-run multi-dataset tables prepare every workload in the parent before
 dispatching cells; with the conversion cached, a re-run (or a sweep over
 the same workloads with different methods/levels) skips the calibration
@@ -149,6 +159,163 @@ class ResultStore:
         save_json(path, document, atomic=True)
         self.stats.writes += 1
         return path
+
+    # -- sample shards -----------------------------------------------------------
+    def shard_dir_for(self, cell_fingerprint: str) -> str:
+        """Directory holding the shard documents of one cell."""
+        return os.path.join(
+            self.root, "shards", cell_fingerprint[:2], cell_fingerprint
+        )
+
+    def shard_path_for(self, cell_fingerprint: str, shard_fingerprint: str) -> str:
+        """Document path of one sample shard of a cell."""
+        return os.path.join(
+            self.shard_dir_for(cell_fingerprint), f"{shard_fingerprint}.json"
+        )
+
+    def get_shard(
+        self, cell_fingerprint: str, shard_fingerprint: str
+    ) -> Optional[EvaluationResult]:
+        """Load a stored shard result; ``None`` (a miss) when absent.
+
+        Same degradation contract as :meth:`get`: unreadable or malformed
+        shard documents are misses (the shard is re-evaluated), never
+        errors.
+        """
+        path = self.shard_path_for(cell_fingerprint, shard_fingerprint)
+        try:
+            document = load_json(path)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, ValueError) as error:
+            logger.warning("ignoring unreadable shard document %s (%s)", path, error)
+            self.stats.misses += 1
+            return None
+        try:
+            result = EvaluationResult.from_dict(document["result"])
+        except (KeyError, TypeError, ValueError) as error:
+            logger.warning("ignoring malformed shard document %s (%s)", path, error)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put_shard(
+        self,
+        cell_fingerprint: str,
+        shard_fingerprint: str,
+        result: EvaluationResult,
+        plan_description: Optional[dict] = None,
+    ) -> str:
+        """Persist one shard result atomically; returns the path written.
+
+        Shard documents live under their cell's fingerprint so a killed
+        multi-shard cell resumes at shard granularity; once the cell merges,
+        :meth:`delete_shards` garbage-collects the whole directory.
+        """
+        path = self.shard_path_for(cell_fingerprint, shard_fingerprint)
+        document = {
+            "version": STORE_VERSION,
+            "cell": cell_fingerprint,
+            "fingerprint": shard_fingerprint,
+            "result": result.as_dict(),
+        }
+        if plan_description is not None:
+            document["plan"] = plan_description
+        save_json(path, document, atomic=True)
+        self.stats.writes += 1
+        return path
+
+    def delete_shards(self, cell_fingerprint: str) -> int:
+        """Garbage-collect every shard document of a cell; returns the count.
+
+        Called after a cell's shards merged and the cell document was
+        written -- the shard documents are then redundant.  Best-effort like
+        every store write: filesystem errors degrade to a warning (the
+        leftovers are reported by :meth:`shard_stats` as orphans and
+        re-collected by :meth:`gc_orphaned_shards`).
+        """
+        directory = self.shard_dir_for(cell_fingerprint)
+        removed = 0
+        try:
+            names = os.listdir(directory)
+        except FileNotFoundError:
+            return 0
+        except OSError as error:
+            logger.warning("cannot list shard directory %s (%s)", directory, error)
+            return 0
+        for name in names:
+            try:
+                os.unlink(os.path.join(directory, name))
+                removed += 1
+            except OSError as error:
+                logger.warning(
+                    "cannot remove shard document %s (%s)",
+                    os.path.join(directory, name), error,
+                )
+        try:
+            os.rmdir(directory)
+        except OSError:
+            pass  # non-empty (a remove failed) or already gone
+        return removed
+
+    def shard_cells(self) -> Iterator[str]:
+        """Iterate over the cell fingerprints that have shard documents."""
+        shards = os.path.join(self.root, "shards")
+        if not os.path.isdir(shards):
+            return
+        for prefix in sorted(os.listdir(shards)):
+            prefix_dir = os.path.join(shards, prefix)
+            if not os.path.isdir(prefix_dir):
+                continue
+            for name in sorted(os.listdir(prefix_dir)):
+                if os.path.isdir(os.path.join(prefix_dir, name)):
+                    yield name
+
+    def shard_stats(self) -> Dict[str, int]:
+        """Shard-document inventory: live and orphaned counts.
+
+        A shard document is *orphaned* when its cell's merged document
+        already exists -- the engine normally garbage-collects shards right
+        after the merge, so orphans only accumulate when a run died between
+        the cell write and the cleanup (or the cleanup hit a filesystem
+        error).  ``shard_docs`` counts every shard document, orphaned or
+        not.
+        """
+        shard_cells = 0
+        shard_docs = 0
+        orphaned = 0
+        for cell_fingerprint in self.shard_cells():
+            directory = self.shard_dir_for(cell_fingerprint)
+            try:
+                count = sum(
+                    1 for name in os.listdir(directory) if name.endswith(".json")
+                )
+            except OSError:
+                continue
+            shard_cells += 1
+            shard_docs += count
+            if cell_fingerprint in self:
+                orphaned += count
+        return {
+            "shard_cells": shard_cells,
+            "shard_docs": shard_docs,
+            "orphaned_shard_docs": orphaned,
+        }
+
+    def gc_orphaned_shards(self) -> int:
+        """Remove shard documents whose merged cell document exists.
+
+        Returns the number of documents collected.  Safe to run any time:
+        only cells already persisted in full are touched, so no resume
+        information is lost.
+        """
+        removed = 0
+        for cell_fingerprint in list(self.shard_cells()):
+            if cell_fingerprint in self:
+                removed += self.delete_shards(cell_fingerprint)
+        return removed
 
     # -- workload conversions --------------------------------------------------
     def workload_path_for(self, key: str) -> str:

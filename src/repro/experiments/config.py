@@ -222,8 +222,12 @@ class SweepConfig:
         "strided"; ``None`` = the env/strided default).
     batch_size:
         Transport-evaluation batch size of every cell.  Part of the sweep
-        identity: the per-interface noise streams advance per batch, so a
-        different batch size draws a different (equally valid) realisation.
+        identity: each batch derives its noise stream from its absolute
+        sample offset, so a different batch size draws a different (equally
+        valid) realisation.  It is also the sample-sharding granularity --
+        shards cover whole batches (so their noise streams match the
+        unsharded run's exactly), hence a cell splits into at most
+        ``ceil(eval_size / batch_size)`` shards.
     simulator:
         Evaluation simulator of every cell: ``"transport"`` (fast
         activation-transport, default) or ``"timestep"`` (faithful

@@ -66,6 +66,7 @@ def _sweep(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
 ) -> SweepResult:
     if levels is None:
         levels = (
@@ -84,7 +85,7 @@ def _sweep(
     )
     return run_noise_sweep(
         config, workload=workload, eval_size=eval_size, max_workers=max_workers,
-        executor=executor, store=store, batch_size=batch_size,
+        executor=executor, store=store, batch_size=batch_size, shards=shards,
     )
 
 
@@ -103,6 +104,7 @@ def figure2_deletion(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 2: accuracy and spike counts vs deletion probability (no WS)."""
     methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
@@ -110,7 +112,7 @@ def figure2_deletion(
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
                   batch_size=batch_size, simulator=simulator,
-                  method_filter=method_filter)
+                  method_filter=method_filter, shards=shards)
 
 
 def figure3_jitter(
@@ -128,6 +130,7 @@ def figure3_jitter(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
 ) -> SweepResult:
     """Fig. 3: accuracy and spike counts vs jitter intensity (no WS)."""
     methods = [MethodSpec(coding=c) for c in BASELINE_CODINGS]
@@ -135,7 +138,7 @@ def figure3_jitter(
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
                   batch_size=batch_size, simulator=simulator,
-                  method_filter=method_filter)
+                  method_filter=method_filter, shards=shards)
 
 
 def figure4_weight_scaling_ttas(
@@ -153,6 +156,7 @@ def figure4_weight_scaling_ttas(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
     ttas_durations: Sequence[int] = (1, 2, 3, 4, 5),
 ) -> SweepResult:
     """Fig. 4: weight scaling for every coding plus TTAS(t_a)+WS vs deletion."""
@@ -165,7 +169,7 @@ def figure4_weight_scaling_ttas(
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
                   batch_size=batch_size, simulator=simulator,
-                  method_filter=method_filter)
+                  method_filter=method_filter, shards=shards)
 
 
 def figure5_activation_distribution(
@@ -215,6 +219,7 @@ def figure6_ttas_jitter(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
     ttas_durations: Sequence[int] = (1, 2, 3, 4, 5, 10),
 ) -> SweepResult:
     """Fig. 6: TTFS vs TTAS(t_a) under jitter (no weight scaling)."""
@@ -226,7 +231,7 @@ def figure6_ttas_jitter(
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
                   batch_size=batch_size, simulator=simulator,
-                  method_filter=method_filter)
+                  method_filter=method_filter, shards=shards)
 
 
 def figure7_deletion_comparison(
@@ -244,6 +249,7 @@ def figure7_deletion_comparison(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
     ttas_duration: int = 5,
 ) -> SweepResult:
     """Fig. 7: every coding with and without WS, plus TTAS(5)+WS, vs deletion."""
@@ -256,7 +262,7 @@ def figure7_deletion_comparison(
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
                   batch_size=batch_size, simulator=simulator,
-                  method_filter=method_filter)
+                  method_filter=method_filter, shards=shards)
 
 
 def figure_fault_robustness(
@@ -275,6 +281,7 @@ def figure_fault_robustness(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
     ttas_duration: int = 5,
 ) -> SweepResult:
     """Hardware-fault robustness sweep: accuracy + spikes vs fault severity.
@@ -300,7 +307,7 @@ def figure_fault_robustness(
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
                   batch_size=batch_size, simulator=simulator,
-                  method_filter=method_filter)
+                  method_filter=method_filter, shards=shards)
 
 
 def figure8_jitter_comparison(
@@ -318,6 +325,7 @@ def figure8_jitter_comparison(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
     ttas_duration: int = 10,
 ) -> SweepResult:
     """Fig. 8: rate/phase/burst/TTFS/TTAS(10) under jitter (no WS)."""
@@ -327,4 +335,4 @@ def figure8_jitter_comparison(
                   max_workers, executor=executor, store=store,
                   spike_backend=spike_backend, analog_backend=analog_backend,
                   batch_size=batch_size, simulator=simulator,
-                  method_filter=method_filter)
+                  method_filter=method_filter, shards=shards)

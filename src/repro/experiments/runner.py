@@ -250,6 +250,7 @@ def run_sweeps(
     max_workers: Optional[int] = None,
     executor: Union[str, Executor, None] = None,
     store: Union[ResultStore, str, None, bool] = None,
+    shards: Optional[int] = None,
 ) -> List[SweepResult]:
     """Run several sweeps as one flat batch of cells on the engine.
 
@@ -285,6 +286,12 @@ def run_sweeps(
         Optional content-addressed result store (instance, directory path,
         ``None`` = honour ``$REPRO_RESULT_STORE``, ``False`` = off).  Cells
         already stored are served from disk without evaluation.
+    shards:
+        Sample shards per cell (``None`` = honour ``$REPRO_SWEEP_SHARDS``
+        with an automatic fallback; see
+        :func:`repro.execution.engine.evaluate_plans`).  Sharding is a pure
+        scheduling choice: merged results are bit-identical to the
+        unsharded run.
     """
     # Fold a batch-size override into the configs themselves so the
     # provenance attached to every SweepResult (result.config) describes the
@@ -353,6 +360,7 @@ def run_sweeps(
             # (None would re-consult the environment).
             store=result_store if result_store is not None else False,
             workloads=prepared,
+            shards=shards,
         )
     finally:
         if owns_backend:
@@ -382,6 +390,7 @@ def run_noise_sweep(
     max_workers: Optional[int] = None,
     executor: Union[str, Executor, None] = None,
     store: Union[ResultStore, str, None, bool] = None,
+    shards: Optional[int] = None,
 ) -> SweepResult:
     """Run a full (method x noise level) sweep.
 
@@ -409,6 +418,9 @@ def run_noise_sweep(
         env/worker-count default).
     store:
         Optional result store for resumable/incremental sweeps.
+    shards:
+        Sample shards per cell (``None`` = env/auto; see
+        :func:`repro.execution.engine.evaluate_plans`).
     """
     workloads = None if workload is None else {config.dataset: workload}
     return run_sweeps(
@@ -420,4 +432,5 @@ def run_noise_sweep(
         max_workers=max_workers,
         executor=executor,
         store=store,
+        shards=shards,
     )[0]

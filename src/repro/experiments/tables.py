@@ -134,6 +134,7 @@ def _run_table(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
 ) -> TableResult:
     configs = [
         SweepConfig(
@@ -157,6 +158,7 @@ def _run_table(
         max_workers=max_workers,
         executor=executor,
         store=store,
+        shards=shards,
     )
     rows: List[TableRow] = []
     for config, sweep in zip(configs, sweeps):
@@ -183,6 +185,7 @@ def table1_deletion(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
 ) -> TableResult:
     """Table I: accuracy and spike counts under deletion, all methods + WS."""
     methods = [
@@ -198,6 +201,7 @@ def table1_deletion(
         max_workers=max_workers, executor=executor, store=store,
         spike_backend=spike_backend, analog_backend=analog_backend,
         batch_size=batch_size, simulator=simulator, method_filter=method_filter,
+        shards=shards,
     )
 
 
@@ -217,6 +221,7 @@ def table2_jitter(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
 ) -> TableResult:
     """Table II: accuracy under jitter for phase/burst/TTFS/TTAS (no WS)."""
     methods = [
@@ -231,6 +236,7 @@ def table2_jitter(
         max_workers=max_workers, executor=executor, store=store,
         spike_backend=spike_backend, analog_backend=analog_backend,
         batch_size=batch_size, simulator=simulator, method_filter=method_filter,
+        shards=shards,
     )
 
 
@@ -259,6 +265,7 @@ def table3_faults(
     batch_size: Optional[int] = None,
     simulator: Optional[str] = None,
     method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
 ) -> TableResult:
     """Hardware-fault robustness table: accuracy and spike counts under one
     of the circuit-fault models (``fault_kind`` in ``"dead"`` / ``"stuck"``
@@ -287,4 +294,5 @@ def table3_faults(
         max_workers=max_workers, executor=executor, store=store,
         spike_backend=spike_backend, analog_backend=analog_backend,
         batch_size=batch_size, simulator=simulator, method_filter=method_filter,
+        shards=shards,
     )

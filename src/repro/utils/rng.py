@@ -67,19 +67,45 @@ def default_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
+def stream_root(rng: RngLike) -> int:
+    """Draw the derivation root of a stream family from ``rng``.
+
+    One integer drawn from the (stateful) parent generator pins every
+    generator later derived from it with :func:`derive_rng_at`.  Splitting
+    derivation into ``stream_root`` + ``derive_rng_at`` is what makes a
+    family of sibling streams *stateless*: each sibling is a pure function
+    of ``(root, tags)``, independent of how many siblings were derived
+    before it or in which order.
+    """
+    return int(default_rng(rng).integers(0, 2**31))
+
+
+def derive_rng_at(root: int, *tags: Union[str, int]) -> np.random.Generator:
+    """Derive a generator from a root and a tag sequence, statelessly.
+
+    Unlike :func:`derive_rng` this consumes no parent-generator state: the
+    same ``(root, tags)`` pair always yields the same generator.  This is
+    the primitive behind sample sharding -- an evaluation shard derives each
+    batch's noise stream from the cell's root and the batch's *absolute*
+    sample offset, reproducing exactly the streams the unsharded run would
+    use for those batches, at any shard count.
+    """
+    seed_seq = np.random.SeedSequence(
+        entropy=int(root), spawn_key=tuple(stable_hash(t) for t in tags)
+    )
+    return np.random.default_rng(seed_seq)
+
+
 def derive_rng(rng: RngLike, *tags: Union[str, int]) -> np.random.Generator:
     """Derive an independent generator from ``rng`` and a tag sequence.
 
     Deriving rather than sharing a generator keeps independent subsystems
     (e.g. dropout vs. spike deletion) decoupled: adding draws in one does not
-    perturb the sequence seen by the other.
+    perturb the sequence seen by the other.  Equivalent to
+    ``derive_rng_at(stream_root(rng), *tags)`` -- it advances the parent by
+    exactly one draw.
     """
-    base = default_rng(rng)
-    tag_entropy = [stable_hash(t) for t in tags]
-    seed_seq = np.random.SeedSequence(
-        entropy=int(base.integers(0, 2**31)), spawn_key=tuple(tag_entropy)
-    )
-    return np.random.default_rng(seed_seq)
+    return derive_rng_at(stream_root(rng), *tags)
 
 
 def spawn_rngs(rng: RngLike, count: int) -> List[np.random.Generator]:

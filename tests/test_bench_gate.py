@@ -158,6 +158,39 @@ class TestWindowedSpeedupFloor:
         assert "timestep_windowed_speedup" in message
 
 
+class TestShardSpeedupFloor:
+    def test_meets_floor(self):
+        ok, message = gate.check_shard_speedup(
+            make_report(BASE_RESULTS, summary={"cell_sharding_speedup": 3.1}),
+            2.5,
+        )
+        assert ok
+        assert "3.10x" in message
+
+    def test_below_floor_fails(self):
+        ok, message = gate.check_shard_speedup(
+            make_report(BASE_RESULTS, summary={"cell_sharding_speedup": 1.1}),
+            2.5,
+        )
+        assert not ok
+        assert "1.10x" in message and "2.50x" in message
+
+    def test_absent_summary_key_fails(self):
+        ok, message = gate.check_shard_speedup(make_report(BASE_RESULTS), 2.5)
+        assert not ok
+        assert "cell_sharding_speedup" in message
+
+    def test_cell_sharding_wall_clocks_are_not_leaf_gated(self):
+        # The section's absolute timings are core-count-bound; only the
+        # same-run speedup ratio is judged (via check_shard_speedup).
+        results = {"cell_sharding": {
+            "config": {"cpu_count": 4},
+            "cell_seconds": {"shards_1": 4.0, "shards_4": 1.2},
+            "speedup_over_unsharded": {"shards_1": 1.0, "shards_4": 3.3},
+        }}
+        assert dict(gate.iter_timings(results)) == {}
+
+
 class TestMainExitCodes:
     def write(self, tmp_path, name, report):
         path = tmp_path / name
@@ -191,6 +224,19 @@ class TestMainExitCodes:
         assert gate.main(args) == 0  # floor off by default
         assert gate.main(args + ["--min-windowed-speedup", "3"]) == 1
         assert gate.main(args + ["--min-windowed-speedup", "1.5"]) == 0
+        capsys.readouterr()
+
+    def test_shard_speedup_floor_gates_main(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_report(BASE_RESULTS))
+        cand = self.write(
+            tmp_path, "cand.json",
+            make_report(BASE_RESULTS,
+                        summary={"cell_sharding_speedup": 2.0}),
+        )
+        args = ["--baseline", base, "--candidate", cand]
+        assert gate.main(args) == 0  # floor off by default
+        assert gate.main(args + ["--min-shard-speedup", "2.5"]) == 1
+        assert gate.main(args + ["--min-shard-speedup", "1.5"]) == 0
         capsys.readouterr()
 
     def test_bad_tolerance_exits_two(self, tmp_path, capsys):

@@ -113,6 +113,62 @@ class TestWorkerKill:
         assert resumed.stats.evaluated_cells == 0
         assert resumed.results == evaluation.results
 
+    def test_killed_worker_mid_shard_sweep_completes_and_resumes(
+        self, chaos_workload, tmp_path, monkeypatch
+    ):
+        """SIGKILL a worker while it evaluates one *sample shard* of a
+        sharded cell: the broken-pool recovery must finish the sweep with
+        every shard merged, and a resume must re-run zero shards."""
+        sentinel = tmp_path / "already-died"
+
+        def killer_evaluate_plan(plan, workload):
+            if (plan.method_label == "TTFS" and plan.level == 0.3
+                    and plan.is_shard and plan.sample_range()[0] > 0
+                    and not sentinel.exists()):
+                sentinel.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real_evaluate_plan(plan, workload)
+
+        monkeypatch.setattr(engine_module, "evaluate_plan", killer_evaluate_plan)
+        store = ResultStore(str(tmp_path / "store"))
+        config = chaos_config()
+        ref = WorkloadRef.from_sweep_config(config, use_cache=False)
+        plans = build_sweep_plans(
+            config, eval_size=10, batch_size=4, use_cache=False
+        )
+        executor = ProcessExecutor(2)
+        try:
+            evaluation = evaluate_plans(
+                plans, executor=executor, store=store,
+                workloads={ref: chaos_workload}, shards=2,
+            )
+        finally:
+            executor.close()
+        assert sentinel.exists()  # the kill actually happened, mid-shard
+        assert evaluation.stats.failed_cells == 0
+        assert evaluation.stats.sharded_cells == len(plans)
+        assert all(isinstance(r, EvaluationResult) for r in evaluation.results)
+        # Every cell merged and persisted; no shard documents left behind.
+        assert len(list(store.fingerprints())) == len(plans)
+        assert store.shard_stats()["shard_docs"] == 0
+
+        # Resume: merged cell documents serve everything, no shard re-runs.
+        monkeypatch.setattr(engine_module, "evaluate_plan", real_evaluate_plan)
+        resumed = evaluate_plans(
+            plans, store=store, workloads={ref: chaos_workload}, shards=2,
+        )
+        assert resumed.stats.store_hits == len(plans)
+        assert resumed.stats.evaluated_cells == 0
+        assert resumed.stats.evaluated_shards == 0
+        assert resumed.results == evaluation.results
+
+        # The chaos-interrupted sharded run still matches the unsharded
+        # ground truth bit-exactly.
+        unsharded = evaluate_plans(
+            plans, store=False, workloads={ref: chaos_workload}
+        )
+        assert unsharded.results == evaluation.results
+
     def test_repeated_kills_exhaust_the_respawn_budget(
         self, chaos_workload, monkeypatch
     ):
