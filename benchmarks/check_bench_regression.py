@@ -54,12 +54,14 @@ DEFAULT_TOLERANCE = 1.5
 #: ("dispatch_per_cell", "store") are scheduler-, fork- and
 #: filesystem-bound micro-latencies, and the GEMM/memcpy machine
 #: calibration tracks CPU speed only, so gating them would flag runner
-#: differences as code regressions, and the cell-sharding wall clocks are
+#: differences as code regressions, the cell-sharding wall clocks are
 #: core-count-bound (the same-run speedup ratio is gated separately via
-#: ``--min-shard-speedup`` instead).  They stay in the report for trend
-#: tracking.
+#: ``--min-shard-speedup`` instead), and the adversarial search's
+#: ``candidates_per_sec`` is a higher-is-better throughput that the
+#: lower-is-better timing rule would misread (its seconds-per-sample twin
+#: is gated normally).  They stay in the report for trend tracking.
 _NON_TIMING_KEYS = ("config", "sparsity", "max_abs_diff", "dispatch_per_cell",
-                    "store", "cell_sharding")
+                    "store", "cell_sharding", "candidates_per_sec")
 
 
 def iter_timings(results: Dict, prefix: str = "") -> Iterator[Tuple[str, float]]:

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Adversarial attack-engine smoke run.
+#
+# End-to-end `adv-delete` figure (worst-case greedy search plus the matched
+# random baseline) with every attack cell split into 2 sample shards across
+# a 2-worker process pool + result store: the first run searches and
+# persists 4 attack cells (1 coding x 2 budgets x {greedy, random}) and
+# must leave no shard documents behind.  The second run repeats the figure
+# unsharded on the serial executor and must be served entirely from the
+# store -- a sentinel mtime check proves zero cells were re-searched.  A
+# third run transfer-evaluates the budget-2 attacks on the faithful
+# timestep simulator, which must mint exactly 2 *new* cells (the evaluator
+# is part of the attack fingerprint).  Finally `store gc` must run clean.
+#
+# Run from the repository root: bash ci/smoke_adversarial.sh
+set -euo pipefail
+
+export PYTHONPATH="${PYTHONPATH:-src}"
+STORE="${REPRO_SMOKE_STORE:-/tmp/repro-ci-adversarial-store}"
+rm -rf "$STORE"
+
+python -m repro figure --name adv-delete --dataset mnist \
+  --scale test --eval-size 4 --budgets 0 2 --methods TTFS \
+  --shards 2 --executor process --max-workers 2 --result-store "$STORE"
+test "$(find "$STORE/cells" -name '*.json' | wc -l)" -eq 4
+test "$(find "$STORE/shards" -name '*.json' 2>/dev/null | wc -l)" -eq 0
+touch "$STORE/sentinel"
+python -m repro figure --name adv-delete --dataset mnist \
+  --scale test --eval-size 4 --budgets 0 2 --methods TTFS \
+  --executor serial --result-store "$STORE"
+test "$(find "$STORE/cells" -name '*.json' -newer "$STORE/sentinel" | wc -l)" -eq 0
+python -m repro figure --name adv-delete --dataset mnist \
+  --scale test --eval-size 4 --budgets 2 --methods TTFS \
+  --simulator timestep --executor serial --result-store "$STORE"
+test "$(find "$STORE/cells" -name '*.json' | wc -l)" -eq 6
+GC_REPORT="$(python -m repro store gc --result-store "$STORE")"
+echo "$GC_REPORT"
+grep -q "collected          : 0" <<< "$GC_REPORT"
+echo "adversarial smoke: 4 attack cells sharded 2-way, resume re-searched 0," \
+  "2 timestep transfer cells, store gc clean"

@@ -29,15 +29,25 @@ the fused fold parallelisable via ``REPRO_SIM_WORKERS``.
 
 Hardware-fault sweeps are exposed as extra figure/table names (``fault-dead``,
 ``fault-stuck``, ``fault-burst``; ``table3-dead`` etc.), and single-condition
-fault evaluations via ``evaluate --dead/--stuck/--burst-error``.  Per-cell
+fault evaluations via ``evaluate --dead/--stuck/--burst-error`` (plus the
+finite-precision synapse ablation via ``evaluate --quant-bits``).  Per-cell
 fault tolerance (retry with backoff, timeouts) is controlled by the
 ``REPRO_CELL_RETRIES`` and ``REPRO_CELL_TIMEOUT`` environment variables;
 failed cells render as explicit ``--`` holes instead of aborting the sweep.
+
+Adversarial worst-case sweeps are the ``adv-delete`` / ``adv-shift`` /
+``adv-insert`` figure and table names: a budgeted attacker searches each
+sample's input spike train for the worst perturbation (``--attack-search``,
+``--budgets``) and the matched-budget random baseline rides along for
+comparison; ``--simulator timestep`` transfer-evaluates the found attacks on
+the faithful simulator.  ``store gc`` removes orphaned shard documents left
+behind by killed runs and reports the bytes reclaimed.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from functools import partial
 from typing import List, Optional, Sequence
@@ -49,14 +59,17 @@ from repro.experiments import (
     figure6_ttas_jitter,
     figure7_deletion_comparison,
     figure8_jitter_comparison,
+    figure_adversarial,
     figure_fault_robustness,
     format_figure_series,
     format_table_rows,
     table1_deletion,
     table2_jitter,
     table3_faults,
+    table_adversarial,
 )
 from repro.execution.executors import EXECUTOR_NAMES
+from repro.execution.store import resolve_store
 from repro.experiments.config import BENCH_SCALE, TEST_SCALE, ExperimentScale
 from repro.experiments.workloads import prepare_workload
 from repro.core.pipeline import SIMULATORS, NoiseRobustSNN
@@ -74,6 +87,10 @@ _FIGURES = {
     "fault-dead": partial(figure_fault_robustness, fault_kind="dead"),
     "fault-stuck": partial(figure_fault_robustness, fault_kind="stuck"),
     "fault-burst": partial(figure_fault_robustness, fault_kind="burst_error"),
+    # Adversarial (worst-case) spike-timing attacks vs the random baseline.
+    "adv-delete": partial(figure_adversarial, attack_kind="delete"),
+    "adv-shift": partial(figure_adversarial, attack_kind="shift"),
+    "adv-insert": partial(figure_adversarial, attack_kind="insert"),
 }
 
 _TABLES = {
@@ -82,7 +99,14 @@ _TABLES = {
     "table3-dead": partial(table3_faults, fault_kind="dead"),
     "table3-stuck": partial(table3_faults, fault_kind="stuck"),
     "table3-burst": partial(table3_faults, fault_kind="burst_error"),
+    "adv-delete": partial(table_adversarial, attack_kind="delete"),
+    "adv-shift": partial(table_adversarial, attack_kind="shift"),
+    "adv-insert": partial(table_adversarial, attack_kind="insert"),
 }
+
+#: Figure/table names that run the adversarial attack engine (and hence
+#: accept the --budgets / --attack-search knobs).
+_ADVERSARIAL_NAMES = ("adv-delete", "adv-shift", "adv-insert")
 
 
 def _scale_from_name(name: str) -> ExperimentScale:
@@ -135,6 +159,15 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
                              "match zero curves are errors, and a figure "
                              "containing burst curves needs this to run on "
                              "--simulator timestep")
+    parser.add_argument("--budgets", nargs="+", type=int, default=None,
+                        metavar="K",
+                        help="attack budgets (spike moves per sample) for "
+                             "the adv-* names; ignored otherwise")
+    parser.add_argument("--attack-search", choices=("greedy", "beam"),
+                        default="greedy",
+                        help="worst-case search driver for the adv-* names "
+                             "(the matched random baseline always rides "
+                             "along); ignored otherwise")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,12 +211,37 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--burst-error", type=float, default=0.0,
                           help="fraction of the time window deleted as one "
                                "contiguous burst error")
+    evaluate.add_argument("--quant-bits", type=int, default=None,
+                          help="quantise every synaptic weight to this many "
+                               "bits (uniform symmetric) before evaluating; "
+                               "works on both simulators (default: full "
+                               "precision)")
     evaluate.add_argument("--weight-scaling", action="store_true")
     evaluate.add_argument("--scale", choices=("bench", "test"), default="bench")
     evaluate.add_argument("--eval-size", type=int, default=None)
     evaluate.add_argument("--seed", type=int, default=0)
     _add_backend_arguments(evaluate)
+
+    store = sub.add_parser(
+        "store", help="inspect and maintain the on-disk result store"
+    )
+    store.add_argument("action", choices=("gc",),
+                       help="gc: remove orphaned shard documents (shards "
+                            "whose cell already has a merged document) and "
+                            "report the bytes reclaimed")
+    store.add_argument("--result-store", default=None, metavar="DIR",
+                       help="store directory (default: REPRO_RESULT_STORE)")
     return parser
+
+
+def _adversarial_kwargs(args: argparse.Namespace) -> dict:
+    """Attack knobs for the adv-* names (empty for everything else)."""
+    if args.name not in _ADVERSARIAL_NAMES:
+        return {}
+    kwargs = {"search": args.attack_search}
+    if args.budgets is not None:
+        kwargs["budgets"] = tuple(args.budgets)
+    return kwargs
 
 
 def _run_figure(args: argparse.Namespace) -> str:
@@ -194,7 +252,7 @@ def _run_figure(args: argparse.Namespace) -> str:
         store=args.result_store, spike_backend=args.spike_backend,
         analog_backend=args.analog_backend, batch_size=args.batch_size,
         simulator=args.simulator, method_filter=args.methods,
-        shards=args.shards,
+        shards=args.shards, **_adversarial_kwargs(args),
     )
     return format_figure_series(result, f"{args.name} ({args.dataset})")
 
@@ -208,6 +266,7 @@ def _run_table(args: argparse.Namespace) -> str:
         spike_backend=args.spike_backend, analog_backend=args.analog_backend,
         batch_size=args.batch_size, simulator=args.simulator,
         method_filter=args.methods, shards=args.shards,
+        **_adversarial_kwargs(args),
     )
     return format_table_rows(result, args.name)
 
@@ -234,6 +293,7 @@ def _run_evaluate(args: argparse.Namespace) -> str:
         dead=args.dead, stuck=args.stuck, burst_error=args.burst_error,
         batch_size=args.batch_size if args.batch_size is not None else 16,
         rng=args.seed,
+        quant_bits=args.quant_bits,
     )
     lines = [
         f"dataset            : {args.dataset} ({scale.name} scale)",
@@ -243,9 +303,50 @@ def _run_evaluate(args: argparse.Namespace) -> str:
         f"noise              : deletion={result.deletion:g} jitter={result.jitter:g}",
         f"faults             : dead={args.dead:g} stuck={args.stuck:g} "
         f"burst_error={args.burst_error:g}",
+        f"weight quantization: "
+        + (f"{args.quant_bits} bits" if args.quant_bits else "off"),
         f"weight scaling     : C={result.weight_scaling_factor:.3f}",
         f"SNN accuracy       : {result.accuracy * 100:.1f}%",
         f"spikes per sample  : {result.spikes_per_sample:,.0f}",
+    ]
+    return "\n".join(lines)
+
+
+def _run_store(args: argparse.Namespace) -> str:
+    """The ``store`` maintenance subcommand (currently: ``gc``)."""
+    store = resolve_store(args.result_store)
+    if store is None:
+        raise SystemExit(
+            "no result store configured: pass --result-store DIR or set "
+            "REPRO_RESULT_STORE"
+        )
+    stats = store.shard_stats()
+    # Sum the orphaned documents' sizes *before* collecting them -- the
+    # bytes are unaccountable afterwards.
+    reclaimable = 0
+    for cell in store.shard_cells():
+        if cell not in store:
+            continue  # live in-flight shards; gc will not touch them
+        directory = store.shard_dir_for(cell)
+        try:
+            names = os.listdir(directory)
+        except OSError:
+            continue
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                reclaimable += os.path.getsize(os.path.join(directory, name))
+            except OSError:
+                pass
+    removed = store.gc_orphaned_shards()
+    lines = [
+        f"result store       : {store.root}",
+        f"cells with shards  : {stats['shard_cells']}",
+        f"shard documents    : {stats['shard_docs']} "
+        f"({stats['orphaned_shard_docs']} orphaned)",
+        f"collected          : {removed} document(s)",
+        f"reclaimed          : {reclaimable:,} bytes",
     ]
     return "\n".join(lines)
 
@@ -254,7 +355,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    handlers = {"figure": _run_figure, "table": _run_table, "evaluate": _run_evaluate}
+    handlers = {
+        "figure": _run_figure,
+        "table": _run_table,
+        "evaluate": _run_evaluate,
+        "store": _run_store,
+    }
     output = handlers[args.command](args)
     print(output)
     return 0

@@ -83,6 +83,21 @@ class NeuralCoder:
         "coding scheme"
     )
 
+    #: Whether the adversarial spike-timing attack engine
+    #: (:mod:`repro.noise.adversarial`) can search this coding's input
+    #: trains.  Requires an event-backend encoding whose decode is a pure
+    #: function of the train (every built-in coder qualifies); class-level so
+    #: attack configs can validate methods by name without instantiating.
+    supports_adversarial: bool = False
+
+    #: One-line statement of the attack surface (when supported) or of the
+    #: capability gap (when not) -- surfaced in errors and the README
+    #: support matrix.
+    adversarial_note: str = (
+        "no budgeted spike-timing perturbation space is defined for this "
+        "coding scheme"
+    )
+
     def __init__(self, num_steps: int):
         check_positive("num_steps", num_steps)
         self._num_steps = int(num_steps)

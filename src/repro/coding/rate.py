@@ -45,6 +45,13 @@ class RateCoder(NeuralCoder):
         "shared window transport activations faithfully"
     )
 
+    supports_adversarial = True
+    adversarial_note = (
+        "constant kernel: every spike carries weight 1/T, so deletions and "
+        "insertions shift the decoded rate by exactly 1/T and time shifts "
+        "are decode-neutral (they matter only on the faithful simulator)"
+    )
+
     def __init__(self, num_steps: int = 64, stochastic: bool = False):
         super().__init__(num_steps)
         self.stochastic = bool(stochastic)

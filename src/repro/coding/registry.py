@@ -89,5 +89,25 @@ def timestep_support(name: str) -> Tuple[bool, str]:
     )
 
 
+def adversarial_support(name: str) -> Tuple[bool, str]:
+    """Whether the adversarial attack engine can search a coding's trains.
+
+    Returns ``(supported, note)`` resolved from the coder class's
+    ``supports_adversarial`` / ``adversarial_note`` attributes, mirroring
+    :func:`timestep_support`: attack configs validate their methods by name,
+    without instantiating coders.  Accepts the ``"ttas(k)"`` shorthand.
+    """
+    key = name.lower().strip()
+    if _TTAS_PATTERN.match(key):
+        key = "ttas"
+    if key not in _REGISTRY:
+        raise ValueError(f"unknown coder {name!r}; available: {available_coders()}")
+    factory = _REGISTRY[key]
+    return (
+        bool(getattr(factory, "supports_adversarial", False)),
+        str(getattr(factory, "adversarial_note", "")),
+    )
+
+
 # ``get_coder`` is the name used throughout the examples; keep both spellings.
 get_coder = create_coder

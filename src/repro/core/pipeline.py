@@ -270,6 +270,7 @@ class NoiseRobustSNN:
         stuck: float = 0.0,
         burst_error: float = 0.0,
         sample_offset: int = 0,
+        quant_bits: Optional[int] = None,
     ) -> EvaluationResult:
         """Evaluate the SNN under the given noise levels.
 
@@ -305,12 +306,28 @@ class NoiseRobustSNN:
             sample offsets, so a batch-aligned shard passing its start
             offset reproduces exactly the noise the unsharded evaluation
             would apply to the same samples.
+        quant_bits:
+            Finite-precision synapse ablation: quantise every weight tensor
+            to this many bits (uniform symmetric,
+            :class:`repro.noise.faults.WeightQuantizationNoise`) on a *copy*
+            of the network before evaluating.  Deterministic -- consumes no
+            RNG stream -- and supported on both evaluators; ``None`` = full
+            precision.
         """
         check_probability("deletion", deletion)
         check_non_negative("jitter", jitter)
         check_probability("dead", dead)
         check_probability("stuck", stuck)
         check_probability("burst_error", burst_error)
+        network = self.network
+        if quant_bits is not None:
+            from repro.noise.faults import quantize_network
+
+            # Quantise here for the transport path; the timestep path defers
+            # to evaluate_timestep's own quant_bits hook (same helper) so its
+            # direct callers get the ablation too.
+            if self.simulator != "timestep":
+                network = quantize_network(network, int(quant_bits))
         coder = self.make_coder()
         noise = NoiseInjector.from_levels(
             deletion_probability=deletion, jitter_sigma=jitter,
@@ -320,7 +337,7 @@ class NoiseRobustSNN:
         scaling = self.make_weight_scaling()
         assumed = deletion if expected_deletion is None else expected_deletion
         kwargs = dict(
-            network=self.network,
+            network=network,
             coder=coder,
             x=x,
             labels=labels,
@@ -335,7 +352,8 @@ class NoiseRobustSNN:
         )
         if self.simulator == "timestep":
             result: TransportResult = evaluate_timestep(
-                sim_backend=self.sim_backend, dead=dead, stuck=stuck, **kwargs
+                sim_backend=self.sim_backend, dead=dead, stuck=stuck,
+                quant_bits=quant_bits, **kwargs
             )
         else:
             result = evaluate_transport(**kwargs)

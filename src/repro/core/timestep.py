@@ -256,6 +256,7 @@ def evaluate_timestep(
     dead: float = 0.0,
     stuck: float = 0.0,
     sample_offset: int = 0,
+    quant_bits: Optional[int] = None,
 ) -> TransportResult:
     """Evaluate a converted network with the faithful time-stepped simulator.
 
@@ -300,6 +301,15 @@ def evaluate_timestep(
     scaling = weight_scaling or WeightScaling.disabled()
     factor = scaling.factor(float(expected_deletion))
     num_samples = int(x.shape[0])
+    if quant_bits is not None:
+        # Finite-precision synapses: quantise a *copy* of the network before
+        # the simulator is built, so every per-step transform (and bias
+        # image) runs on the fixed-point weights.  Deterministic -- no RNG
+        # stream is consumed, so all noise realisations match the
+        # full-precision run exactly.
+        from repro.noise.faults import quantize_network
+
+        network = quantize_network(network, int(quant_bits))
     simulator = build_time_stepped_simulator(
         network,
         coder,

@@ -38,6 +38,7 @@ from repro.conversion.converter import ConvertedSNN
 from repro.core.weight_scaling import WeightScaling
 from repro.nn.layers import analog_backend as analog_backend_scope
 from repro.noise.base import SpikeNoise
+from repro.snn.spikes import SpikeTrain
 from repro.utils.rng import RngLike, default_rng, derive_rng, derive_rng_at, stream_root
 from repro.utils.validation import check_non_negative, check_positive
 
@@ -134,26 +135,44 @@ class ActivationTransportSimulator:
 
     # -- forward -----------------------------------------------------------------
     def forward(
-        self, x: np.ndarray, rng: RngLike = None
+        self,
+        x: Optional[np.ndarray],
+        rng: RngLike = None,
+        input_train: Optional["SpikeTrain"] = None,
     ) -> "tuple[np.ndarray, Dict[int, int]]":
         """Run one batch through the noisy spiking network.
+
+        When ``input_train`` is given it is used verbatim as the interface-0
+        spike train: the normalise/encode/noise chain is skipped for the
+        input interface (deeper interfaces behave as usual) and ``x`` may be
+        ``None``.  This is the injection point of the adversarial attack
+        engine, which hands the evaluator a pre-perturbed train -- the same
+        injection point on both evaluators, so an attack found here transfers
+        unchanged to the faithful time-stepped simulation.
 
         Returns ``(logits, spikes_per_interface)``.
         """
         if self.analog_backend is not None:
             with analog_backend_scope(self.analog_backend):
-                return self._forward_impl(x, rng)
-        return self._forward_impl(x, rng)
+                return self._forward_impl(x, rng, input_train=input_train)
+        return self._forward_impl(x, rng, input_train=input_train)
 
     def _forward_impl(
-        self, x: np.ndarray, rng: RngLike = None
+        self,
+        x: Optional[np.ndarray],
+        rng: RngLike = None,
+        input_train: Optional["SpikeTrain"] = None,
     ) -> "tuple[np.ndarray, Dict[int, int]]":
-        x = np.asarray(x, dtype=np.float32)
-        if np.any(x < 0):
-            raise ValueError(
-                "transport simulation requires non-negative inputs "
-                "(images in [0, 1]); got negative values"
-            )
+        if x is None:
+            if input_train is None:
+                raise ValueError("forward needs either x or input_train")
+        else:
+            x = np.asarray(x, dtype=np.float32)
+            if np.any(x < 0):
+                raise ValueError(
+                    "transport simulation requires non-negative inputs "
+                    "(images in [0, 1]); got negative values"
+                )
         generator = default_rng(rng)
         factor = self.scale_factor
         spikes_per_interface: Dict[int, int] = {}
@@ -161,20 +180,26 @@ class ActivationTransportSimulator:
         activations = x
         scale = self.network.input_scale
         for interface_index, segment in enumerate(self.network.segments):
-            skip_encoding = interface_index == 0 and not self.encode_input
+            supplied = input_train if interface_index == 0 else None
+            skip_encoding = (
+                interface_index == 0 and not self.encode_input and supplied is None
+            )
             if skip_encoding:
                 psc = activations if factor == 1.0 else activations * factor
             else:
-                normalised = activations / scale
-                train = self.coder.encode(
-                    normalised,
-                    rng=derive_rng(generator, "encode", interface_index),
-                    backend=self.spike_backend,
-                )
-                if self.noise is not None:
-                    train = self.noise.apply(
-                        train, rng=derive_rng(generator, "noise", interface_index)
+                if supplied is not None:
+                    train = supplied
+                else:
+                    normalised = activations / scale
+                    train = self.coder.encode(
+                        normalised,
+                        rng=derive_rng(generator, "encode", interface_index),
+                        backend=self.spike_backend,
                     )
+                    if self.noise is not None:
+                        train = self.noise.apply(
+                            train, rng=derive_rng(generator, "noise", interface_index)
+                        )
                 spikes_per_interface[interface_index] = train.total_spikes()
                 # Decode is the batched per-timestep weighted sum; the
                 # calibration scale and weight-scaling factor fold into one

@@ -42,6 +42,13 @@ from repro.execution.executors import (
     resolve_executor,
     resolve_worker_count,
 )
+from repro.execution.attack import (
+    ATTACK_FINGERPRINT_SCHEMA,
+    AttackPlan,
+    build_attack_plans,
+    evaluate_attack_plan,
+    find_attack_train,
+)
 from repro.execution.plan import (
     EvaluationPlan,
     WorkloadRef,
@@ -59,6 +66,11 @@ from repro.execution.store import (
 )
 
 __all__ = [
+    "AttackPlan",
+    "ATTACK_FINGERPRINT_SCHEMA",
+    "build_attack_plans",
+    "evaluate_attack_plan",
+    "find_attack_train",
     "EvaluationPlan",
     "WorkloadRef",
     "build_sweep_plans",

@@ -1,0 +1,570 @@
+"""Adversarial attack plans: worst-case searches as resumable sweep cells.
+
+An :class:`AttackPlan` describes one cell of a worst-case robustness sweep --
+(workload, method, attack kind, budget, search driver, evaluator) -- as a
+small frozen picklable value object, exactly like
+:class:`~repro.execution.plan.EvaluationPlan` describes a random-noise cell.
+The execution engine treats the two interchangeably (duck-typed dispatch in
+:func:`~repro.execution.engine.execute_cell`), so attack sweeps inherit the
+whole PR 3-8 machinery for free: serial/thread/process executors,
+content-addressed :class:`~repro.execution.store.ResultStore` persistence
+with resume, per-cell retries/timeouts and fault tolerance, and sample
+sharding with completion-order persistence.
+
+The determinism contract is stricter than a noise cell's: the attack search
+for sample ``i`` derives every random choice statelessly from the plan
+identity and the *absolute* sample index (:meth:`AttackPlan.search_root`),
+and the candidate scorer derives its forward-pass streams from that root
+plus its own deterministic call ordinal -- so the same plan produces
+bit-identical perturbed trains on any executor, at any shard count, under
+any worker configuration.
+
+Sharding granularity is per *sample*, not per batch: each sample's search is
+independent (there is no cross-sample batch noise stream to preserve), so a
+cell of ``n`` samples splits into up to ``n`` shards.
+
+The search always scores candidates on the fast transport evaluator; with
+``evaluator="timestep"`` the found attacks are *transfer-evaluated* on the
+faithful time-stepped simulator, measuring the transport->faithful attack
+gap (the input train is the shared injection point of both evaluators).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coding.registry import create_coder
+from repro.core.pipeline import SIMULATORS, EvaluationResult
+from repro.core.timestep import build_time_stepped_simulator
+from repro.core.transport import ActivationTransportSimulator
+from repro.core.weight_scaling import WeightScaling
+from repro.execution.plan import WorkloadRef, shard_fingerprint
+from repro.noise.adversarial import (
+    ATTACK_KINDS,
+    ATTACK_SEARCHES,
+    AttackOutcome,
+    classification_margins,
+    run_attack_search,
+    stack_trains,
+)
+from repro.snn.simulator import resolve_sim_backend
+from repro.snn.spikes import SpikeEvents
+from repro.utils.rng import derive_rng, derive_rng_at, stream_root
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (experiments -> execution)
+    from repro.experiments.config import AttackSweepConfig, MethodSpec
+    from repro.experiments.workloads import PreparedWorkload
+
+#: Version prefix baked into every attack-cell fingerprint; bump after any
+#: semantic change to the search or evaluation path (independent of the
+#: noise-cell schema -- the two cell families never alias).
+ATTACK_FINGERPRINT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class AttackPlan:
+    """Everything needed to run one attack-sweep cell, by value.
+
+    Attributes
+    ----------
+    workload:
+        Reference to the trained network the cell attacks.
+    method:
+        Coding / weight-scaling configuration of the attacked curve.
+    attack_kind:
+        Perturbation space ("delete" / "shift" / "insert").
+    budget:
+        Maximum number of single-spike moves per sample (0 = clean).
+    seed:
+        Sweep seed; every search stream derives from it (see
+        :meth:`search_root`).
+    num_steps:
+        Encoding window length ``T`` (resolved from the scale and coding).
+    search:
+        Attack driver ("greedy" / "beam" / "random").
+    shift_delta / beam_width / max_candidates:
+        Search-space knobs (see :mod:`repro.noise.adversarial`).
+    evaluator:
+        Where accuracy is measured: ``"transport"`` (same evaluator that
+        scored the search) or ``"timestep"`` (transfer evaluation on the
+        faithful simulator).
+    eval_size:
+        Number of attacked samples (``None`` = the scale's default).
+    spike_backend / analog_backend:
+        Backend overrides for the deeper (non-attacked) interfaces.  The
+        attacked input train is always event-backed, independent of these.
+    scaling_mode:
+        Weight-scaling mode; attacks carry no deletion expectation, so the
+        factor is always evaluated at ``expected_deletion=0``.
+    sim_backend:
+        Simulation engine of a timestep transfer evaluation, pinned at
+        construction exactly like the noise plans' (``None`` and not
+        ``evaluator="timestep"`` otherwise).
+    sample_start / sample_stop:
+        Sample-shard bounds over the cell's evaluation slice.  Unlike noise
+        shards these need no batch alignment: every sample's search derives
+        its streams from the sample's absolute index alone, so any
+        contiguous split merges bit-identically.
+    """
+
+    workload: WorkloadRef
+    method: "MethodSpec"
+    attack_kind: str
+    budget: int
+    seed: int
+    num_steps: int
+    search: str = "greedy"
+    shift_delta: int = 2
+    beam_width: int = 4
+    max_candidates: int = 64
+    evaluator: str = "transport"
+    eval_size: Optional[int] = None
+    spike_backend: Optional[str] = None
+    analog_backend: Optional[str] = None
+    scaling_mode: str = "inverse"
+    sim_backend: Optional[str] = None
+    sample_start: Optional[int] = None
+    sample_stop: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.attack_kind not in ATTACK_KINDS:
+            raise ValueError(
+                f"attack_kind must be one of {ATTACK_KINDS}, got "
+                f"{self.attack_kind!r}"
+            )
+        if self.search not in ATTACK_SEARCHES:
+            raise ValueError(
+                f"search must be one of {ATTACK_SEARCHES}, got {self.search!r}"
+            )
+        if self.evaluator not in SIMULATORS:
+            raise ValueError(
+                f"evaluator must be one of {SIMULATORS}, got {self.evaluator!r}"
+            )
+        if int(self.budget) < 0:
+            raise ValueError(f"budget must be >= 0, got {self.budget}")
+        object.__setattr__(self, "budget", int(self.budget))
+        for knob in ("shift_delta", "beam_width", "max_candidates"):
+            if int(getattr(self, knob)) < 1:
+                raise ValueError(
+                    f"{knob} must be >= 1, got {getattr(self, knob)}"
+                )
+        if self.evaluator == "timestep":
+            resolved = resolve_sim_backend(self.sim_backend)
+            object.__setattr__(self, "sim_backend", resolved)
+        elif self.sim_backend is not None:
+            raise ValueError(
+                "sim_backend applies to timestep transfer evaluation only"
+            )
+        if (self.sample_start is None) != (self.sample_stop is None):
+            raise ValueError(
+                "sample_start and sample_stop must be set together "
+                f"(got sample_start={self.sample_start!r}, "
+                f"sample_stop={self.sample_stop!r})"
+            )
+        if self.sample_start is not None:
+            start, stop = int(self.sample_start), int(self.sample_stop)
+            total = self.effective_eval_size()
+            if not 0 <= start < stop <= total:
+                raise ValueError(
+                    f"shard bounds [{start}, {stop}) must satisfy "
+                    f"0 <= start < stop <= {total} (the cell's eval size)"
+                )
+            object.__setattr__(self, "sample_start", start)
+            object.__setattr__(self, "sample_stop", stop)
+
+    # -- identity (the engine's duck-typed cell surface) ---------------------------
+    @property
+    def dataset(self) -> str:
+        return self.workload.dataset
+
+    @property
+    def method_label(self) -> str:
+        return self.method.display_label()
+
+    @property
+    def noise_kind(self) -> str:
+        """The sweep axis name rendered in logs, errors and reports."""
+        return f"adv-{self.attack_kind}"
+
+    @property
+    def level(self) -> float:
+        """The budget as the cell's position on the sweep axis."""
+        return float(self.budget)
+
+    def cell_id(self) -> str:
+        """Human-readable cell identity used in logs and error messages."""
+        label = (
+            f"{self.dataset}/{self.method_label} "
+            f"{self.noise_kind}={self.budget} [{self.search}/{self.evaluator}]"
+        )
+        if self.is_shard:
+            label += f" samples[{self.sample_start}:{self.sample_stop})"
+        return label
+
+    # -- sample sharding -----------------------------------------------------------
+    @property
+    def is_shard(self) -> bool:
+        return self.sample_start is not None
+
+    def sample_range(self) -> Tuple[int, int]:
+        if self.is_shard:
+            return int(self.sample_start), int(self.sample_stop)
+        return 0, self.effective_eval_size()
+
+    def cell_plan(self) -> "AttackPlan":
+        """The whole-cell plan this shard belongs to (self when unsharded)."""
+        if not self.is_shard:
+            return self
+        return replace(self, sample_start=None, sample_stop=None)
+
+    def shards(self, num_shards: int) -> List["AttackPlan"]:
+        """Split this cell into at most ``num_shards`` contiguous shards.
+
+        Per-sample granularity: attack streams are keyed by absolute sample
+        indices, so -- unlike batch-aligned noise shards -- any contiguous
+        split of the sample range merges bit-identically.
+        """
+        if self.is_shard:
+            raise ValueError(f"cannot re-shard shard plan {self.cell_id()}")
+        count = int(num_shards)
+        if count < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        total = self.effective_eval_size()
+        count = min(count, total)
+        if count <= 1:
+            return [self]
+        base, extra = divmod(total, count)
+        plans: List[AttackPlan] = []
+        cursor = 0
+        for index in range(count):
+            take = base + (1 if index < extra else 0)
+            plans.append(
+                replace(self, sample_start=cursor, sample_stop=cursor + take)
+            )
+            cursor += take
+        return plans
+
+    def effective_eval_size(self) -> int:
+        """Number of attacked samples (normalised against the test split)."""
+        requested = (
+            self.eval_size if self.eval_size is not None
+            else self.workload.scale.eval_size
+        )
+        return int(min(requested, self.workload.scale.test_size))
+
+    # -- RNG spec ------------------------------------------------------------------
+    def encode_root(self) -> int:
+        """Derivation root of the clean-train encode streams.
+
+        Keyed by the seed and the *coder* identity only -- not the search --
+        so the greedy curve and its matched-budget random baseline attack
+        the exact same clean trains, even for stochastic encoders.
+        """
+        return stream_root(derive_rng(
+            self.seed, "attack-encode", self.method.coding,
+            str(self.method.target_duration), self.num_steps,
+        ))
+
+    def search_root(self) -> int:
+        """Derivation root of every search/scoring stream of this cell.
+
+        A pure function of the plan identity: per-sample streams derive from
+        ``(search_root, tag, absolute sample index)``, which is what makes
+        the found perturbation independent of executor, shard count and
+        worker configuration.
+        """
+        return stream_root(derive_rng(
+            self.seed, "attack", self.attack_kind, self.search,
+            self.budget, self.method.coding,
+            str(self.method.target_duration),
+            int(bool(self.method.weight_scaling)),
+        ))
+
+    # -- fingerprinting ------------------------------------------------------------
+    def describe(self) -> dict:
+        """Canonical JSON-serialisable description of the attack cell.
+
+        Mirrors :meth:`EvaluationPlan.describe`: shard bounds are excluded
+        (shard identity enters through :func:`shard_fingerprint`), the
+        workload collapses to its result-affecting triple, ``eval_size``
+        normalises to its effective value, and the method's cosmetic
+        ``label`` is cleared so relabelled curves share one stored result.
+        The ``cell_kind`` marker plus a family-private schema keep attack
+        cells from ever aliasing noise cells.
+        """
+        payload = asdict(self)
+        del payload["sample_start"], payload["sample_stop"]
+        payload["workload"] = {
+            "dataset": self.workload.dataset,
+            "scale": asdict(self.workload.scale),
+            "seed": self.workload.seed,
+        }
+        payload["method"]["label"] = None
+        payload["budget"] = int(self.budget)
+        payload["eval_size"] = self.effective_eval_size()
+        payload["cell_kind"] = "attack"
+        payload["schema"] = ATTACK_FINGERPRINT_SCHEMA
+        return payload
+
+    def cell_fingerprint(self, network_hash: str) -> str:
+        """Content address of the whole cell's result."""
+        blob = json.dumps(
+            {"plan": self.describe(), "network": network_hash},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def fingerprint(self, network_hash: str) -> str:
+        """Content address of this plan's result (shard-derived if sharded)."""
+        cell = self.cell_fingerprint(network_hash)
+        if not self.is_shard:
+            return cell
+        start, stop = self.sample_range()
+        return shard_fingerprint(cell, start, stop, self.effective_eval_size())
+
+    # -- evaluation ----------------------------------------------------------------
+    def evaluate_with_workload(
+        self, workload: "PreparedWorkload"
+    ) -> EvaluationResult:
+        """Engine hook: evaluate this cell against its resolved workload."""
+        return evaluate_attack_plan(self, workload)
+
+
+class _AttackContext:
+    """Per-cell live objects of one attack evaluation (built in the worker).
+
+    Holds the coder, the transport scorer and -- for transfer evaluation --
+    the faithful simulator, built once per cell and reused across the cell's
+    samples.  Never crosses process boundaries; workers rebuild it from the
+    (picklable) plan.
+    """
+
+    def __init__(self, plan: AttackPlan, workload: "PreparedWorkload"):
+        self.plan = plan
+        self.network = workload.network
+        self.coder = create_coder(
+            plan.method.coding, num_steps=plan.num_steps,
+            **plan.method.coder_kwargs(),
+        )
+        self.scaling = (
+            WeightScaling(mode=plan.scaling_mode)
+            if plan.method.weight_scaling else WeightScaling.disabled()
+        )
+        #: Attacks carry no deletion expectation: the factor compensates at
+        #: the clean operating point.
+        self.factor = self.scaling.factor(0.0)
+        self.scorer = ActivationTransportSimulator(
+            network=self.network,
+            coder=self.coder,
+            noise=None,
+            weight_scaling=self.scaling,
+            expected_deletion=0.0,
+            spike_backend=plan.spike_backend or "events",
+            analog_backend=plan.analog_backend,
+        )
+        self.encode_root = plan.encode_root()
+        self.search_root = plan.search_root()
+        self.timestep = None
+        self.spiking_layers: List[str] = []
+
+    def build_timestep(self, sample_shape: Tuple[int, ...]) -> None:
+        """Build the faithful simulator for transfer evaluation, once."""
+        self.timestep = build_time_stepped_simulator(
+            self.network,
+            self.coder,
+            batch_input_shape=(1,) + tuple(sample_shape),
+            kernel_scale=self.factor,
+            sim_backend=self.plan.sim_backend,
+        )
+        self.spiking_layers = [
+            layer.name for layer in self.timestep.layers
+            if layer.neuron is not None
+        ]
+
+    def clean_train(self, image: np.ndarray, absolute: int) -> SpikeEvents:
+        """The sample's clean input train (event-backed, canonical)."""
+        normalised = (
+            np.asarray(image, dtype=np.float32) / self.network.input_scale
+        )
+        return self.coder.encode(
+            normalised,
+            rng=derive_rng_at(self.encode_root, "encode", absolute),
+            backend="events",
+        ).to_events()
+
+    def margin_scorer(self, absolute: int, label: int):
+        """Batched margin scorer for one sample's candidate trains.
+
+        The forward-pass streams derive from ``(search_root, "score",
+        absolute, call_index)``: keyed by the sample's absolute index so
+        executors and shards agree, and by the call's ordinal so every
+        scoring round draws a *fresh* realisation of any stochastic
+        interface re-encoding.  The per-call key matters for stochastic
+        coders: reusing one stream would freeze each batch slot's encoding
+        noise across rounds, and an incumbent that drew a lucky slot would
+        stall the greedy search.  The search drivers call the scorer in a
+        deterministic sequence, so per-call keying preserves the
+        bit-identical-across-executors contract.
+        """
+        calls = iter(range(1 << 62))
+
+        def score(trains: Sequence[SpikeEvents]) -> np.ndarray:
+            stacked = stack_trains(list(trains))
+            logits, _ = self.scorer.forward(
+                None,
+                rng=derive_rng_at(
+                    self.search_root, "score", absolute, next(calls)
+                ),
+                input_train=stacked,
+            )
+            return classification_margins(logits, label)
+
+        return score
+
+    def search(
+        self, train: SpikeEvents, absolute: int, label: int
+    ) -> AttackOutcome:
+        """Run the plan's attack search on one sample's clean train."""
+        return run_attack_search(
+            train,
+            self.plan.attack_kind,
+            self.plan.search,
+            self.plan.budget,
+            self.margin_scorer(absolute, label),
+            rng=derive_rng_at(self.search_root, "sample", absolute),
+            shift_delta=self.plan.shift_delta,
+            beam_width=self.plan.beam_width,
+            max_candidates=self.plan.max_candidates,
+        )
+
+    def evaluate_train(
+        self, train: SpikeEvents, absolute: int
+    ) -> Tuple[int, int]:
+        """Final (prediction, spike count) of one perturbed train.
+
+        On transport this re-runs the scorer's forward with a dedicated
+        stream; on timestep it runs the faithful membrane simulation --
+        the transfer evaluation.  Spike counts include the (attacked) input
+        train plus every deeper interface, matching the noise sweeps'
+        accounting.
+        """
+        batched = stack_trains([train])
+        if self.timestep is not None:
+            record = self.timestep.run(batched)
+            prediction = int(record.predictions[0])
+            spikes = batched.total_spikes() + sum(
+                int(record.spike_counts[name]) for name in self.spiking_layers
+            )
+            return prediction, spikes
+        logits, spikes_per_interface = self.scorer.forward(
+            None,
+            rng=derive_rng_at(self.search_root, "final", absolute),
+            input_train=batched,
+        )
+        prediction = int(np.argmax(logits[0]))
+        return prediction, int(sum(spikes_per_interface.values()))
+
+
+def find_attack_train(
+    plan: AttackPlan, workload: "PreparedWorkload", sample_index: int
+) -> AttackOutcome:
+    """The perturbed train the plan's search finds for one absolute sample.
+
+    A pure function of ``(plan cell, sample_index)`` -- shard bounds are
+    ignored -- exposed so determinism tests (and notebooks) can compare the
+    *trains* two configurations produce, not just their accuracies.
+    """
+    context = _AttackContext(plan.cell_plan(), workload)
+    x, y = workload.evaluation_slice(plan.eval_size)
+    absolute = int(sample_index)
+    train = context.clean_train(x[absolute], absolute)
+    return context.search(train, absolute, int(y[absolute]))
+
+
+def evaluate_attack_plan(
+    plan: AttackPlan, workload: "PreparedWorkload"
+) -> EvaluationResult:
+    """Run one attack cell (or shard), purely.
+
+    For every sample in the plan's range: encode the clean train, search for
+    the worst perturbation within budget, then measure the perturbed train
+    on the plan's evaluator.  Returns a standard
+    :class:`~repro.core.pipeline.EvaluationResult` (deletion/jitter are 0 --
+    the budget identity lives in the plan and its fingerprint), so attack
+    cells persist, resume and shard-merge through exactly the machinery the
+    noise cells use.
+    """
+    context = _AttackContext(plan, workload)
+    x, y = workload.evaluation_slice(plan.eval_size)
+    start, stop = plan.sample_range()
+    x, y = x[start:stop], y[start:stop]
+    if plan.evaluator == "timestep" and x.shape[0]:
+        context.build_timestep(x.shape[1:])
+
+    correct = 0
+    total_spikes = 0
+    for offset in range(int(x.shape[0])):
+        absolute = start + offset
+        label = int(y[offset])
+        clean = context.clean_train(x[offset], absolute)
+        outcome = context.search(clean, absolute, label)
+        prediction, spikes = context.evaluate_train(outcome.train, absolute)
+        correct += int(prediction == label)
+        total_spikes += spikes
+
+    num_samples = int(x.shape[0])
+    return EvaluationResult(
+        accuracy=correct / num_samples if num_samples else float("nan"),
+        total_spikes=int(total_spikes),
+        spikes_per_sample=(
+            total_spikes / num_samples if num_samples else float("nan")
+        ),
+        coding=plan.method.coding,
+        deletion=0.0,
+        jitter=0.0,
+        weight_scaling_factor=context.factor,
+        num_samples=num_samples,
+    )
+
+
+def build_attack_plans(
+    config: "AttackSweepConfig",
+    eval_size: Optional[int] = None,
+    use_cache: bool = True,
+    cache_dir: Optional[str] = None,
+) -> List[AttackPlan]:
+    """Compile an attack sweep config into its (method x budget) cell plans.
+
+    Cells are ordered method-major, matching the curve assembly the noise
+    sweeps use -- which is what lets the runner fold attack results with the
+    same code path.
+    """
+    ref = WorkloadRef.from_sweep_config(
+        config, use_cache=use_cache, cache_dir=cache_dir
+    )
+    return [
+        AttackPlan(
+            workload=ref,
+            method=method,
+            attack_kind=config.attack_kind,
+            budget=int(budget),
+            seed=config.seed,
+            num_steps=config.scale.time_steps_for(method.coding),
+            search=config.search,
+            shift_delta=config.shift_delta,
+            beam_width=config.beam_width,
+            max_candidates=config.max_candidates,
+            evaluator=config.evaluator,
+            eval_size=eval_size,
+            spike_backend=config.spike_backend,
+            analog_backend=config.analog_backend,
+        )
+        for method in config.methods
+        for budget in config.budgets
+    ]

@@ -270,10 +270,21 @@ def execute_cell(plan: EvaluationPlan) -> EvaluationResult:
     Module-level (hence picklable by reference) so the process backend can
     ship it; failures are re-raised as :class:`CellEvaluationError` carrying
     the cell identity, which survives the trip back through the pool.
+
+    Dispatch is duck-typed: a plan that knows how to evaluate itself (e.g.
+    an :class:`~repro.execution.attack.AttackPlan` exposing
+    ``evaluate_with_workload``) is asked to; everything else is a standard
+    sweep cell handled by :func:`~repro.execution.plan.evaluate_plan`.  This
+    keeps the engine -- executors, store, retries, timeouts, sharding --
+    entirely agnostic of what a cell computes.
     """
     try:
         workload = workload_for(plan.workload)
-        result = evaluate_plan(plan, workload)
+        evaluate = getattr(plan, "evaluate_with_workload", None)
+        if evaluate is not None:
+            result = evaluate(workload)
+        else:
+            result = evaluate_plan(plan, workload)
     except CellEvaluationError:
         raise
     except Exception as error:

@@ -155,8 +155,18 @@ class EvaluationPlan:
     sim_backend: Optional[str] = None
     sample_start: Optional[int] = None
     sample_stop: Optional[int] = None
+    #: Finite-precision synapse ablation: quantise every weight tensor of
+    #: the evaluated network to this many bits (``None`` = full precision).
+    #: Deliberately the last field, so existing positional constructions
+    #: keep working; a ``None`` value is dropped from :meth:`describe`, so
+    #: full-precision plans keep their pre-existing fingerprints.
+    quant_bits: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.quant_bits is not None and int(self.quant_bits) < 1:
+            raise ValueError(
+                f"quant_bits must be >= 1 or None, got {self.quant_bits}"
+            )
         if self.simulator == "timestep":
             resolved = resolve_sim_backend(self.sim_backend)
             object.__setattr__(self, "sim_backend", resolved)
@@ -292,6 +302,10 @@ class EvaluationPlan:
         """
         payload = asdict(self)
         del payload["sample_start"], payload["sample_stop"]
+        if payload["quant_bits"] is None:
+            # Full-precision plans keep the exact pre-quantization payload,
+            # so every result stored before the field existed stays valid.
+            del payload["quant_bits"]
         payload["workload"] = {
             "dataset": self.workload.dataset,
             "scale": asdict(self.workload.scale),
@@ -489,5 +503,6 @@ def evaluate_plan(plan: EvaluationPlan, workload: PreparedWorkload) -> Evaluatio
         batch_size=plan.batch_size,
         rng=plan.noise_rng(),
         sample_offset=start,
+        quant_bits=plan.quant_bits,
         **noise_levels,
     )

@@ -15,6 +15,7 @@
 """
 
 from repro.experiments.config import (
+    BENCH_ATTACK_BUDGETS,
     BENCH_SCALE,
     BURST_ERROR_LEVELS,
     FAULT_LEVELS,
@@ -22,6 +23,7 @@ from repro.experiments.config import (
     NOISE_KINDS,
     PAPER_SCALE,
     TABLE3_FAULT_LEVELS,
+    AttackSweepConfig,
     DatasetConfig,
     ExperimentScale,
     MethodSpec,
@@ -29,7 +31,13 @@ from repro.experiments.config import (
     dataset_config,
 )
 from repro.experiments.workloads import PreparedWorkload, prepare_workload
-from repro.experiments.runner import SweepResult, run_noise_sweep, run_sweeps
+from repro.experiments.runner import (
+    SweepResult,
+    run_attack_sweep,
+    run_attack_sweeps,
+    run_noise_sweep,
+    run_sweeps,
+)
 from repro.experiments.figures import (
     figure2_deletion,
     figure3_jitter,
@@ -38,9 +46,15 @@ from repro.experiments.figures import (
     figure6_ttas_jitter,
     figure7_deletion_comparison,
     figure8_jitter_comparison,
+    figure_adversarial,
     figure_fault_robustness,
 )
-from repro.experiments.tables import table1_deletion, table2_jitter, table3_faults
+from repro.experiments.tables import (
+    table1_deletion,
+    table2_jitter,
+    table3_faults,
+    table_adversarial,
+)
 from repro.experiments.reporting import (
     format_activation_distributions,
     format_figure_series,
@@ -56,11 +70,15 @@ __all__ = [
     "dataset_config",
     "MethodSpec",
     "SweepConfig",
+    "AttackSweepConfig",
+    "BENCH_ATTACK_BUDGETS",
     "PreparedWorkload",
     "prepare_workload",
     "SweepResult",
     "run_noise_sweep",
     "run_sweeps",
+    "run_attack_sweep",
+    "run_attack_sweeps",
     "figure2_deletion",
     "figure3_jitter",
     "figure4_weight_scaling_ttas",
@@ -68,10 +86,12 @@ __all__ = [
     "figure6_ttas_jitter",
     "figure7_deletion_comparison",
     "figure8_jitter_comparison",
+    "figure_adversarial",
     "figure_fault_robustness",
     "table1_deletion",
     "table2_jitter",
     "table3_faults",
+    "table_adversarial",
     "FAULT_NOISE_KINDS",
     "NOISE_KINDS",
     "FAULT_LEVELS",

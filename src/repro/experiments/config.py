@@ -23,9 +23,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import SIMULATORS
 from repro.nn.layers import ANALOG_BACKENDS
+from repro.noise.adversarial import ATTACK_KINDS, ATTACK_SEARCHES
 from repro.snn.spikes import SPIKE_BACKENDS
 from repro.utils.config import ConfigError, validate_choice
-from repro.utils.validation import check_positive
+from repro.utils.validation import check_non_negative, check_positive
 
 #: Datasets the paper evaluates on.
 DATASET_NAMES = ("mnist", "cifar10", "cifar100")
@@ -343,3 +344,128 @@ BURST_ERROR_LEVELS: Tuple[float, ...] = (0.0, 0.1, 0.25, 0.5, 0.75)
 
 #: Fault fractions reported in the fault-robustness table.
 TABLE3_FAULT_LEVELS: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.4)
+
+#: Perturbation budgets swept by the adversarial robustness curves (number
+#: of single-spike moves the adversary may chain; 0 is the clean point).
+BENCH_ATTACK_BUDGETS: Tuple[int, ...] = (0, 1, 2, 4, 8)
+
+#: Default maximum time-step displacement of one ``shift`` move.
+DEFAULT_SHIFT_DELTA = 2
+
+#: Default number of one-move candidates scored per search step.
+DEFAULT_MAX_CANDIDATES = 64
+
+
+@dataclass(frozen=True)
+class AttackSweepConfig:
+    """A worst-case robustness sweep: dataset, methods, attack axis, budgets.
+
+    The adversarial counterpart of :class:`SweepConfig`: instead of an
+    i.i.d. noise axis it walks a *perturbation budget* axis, and every cell
+    runs a per-sample attack search (:mod:`repro.noise.adversarial`) instead
+    of a random noise draw.  Duck-types the surface the sweep runner,
+    reporting and result assembly consume (``dataset`` / ``methods`` /
+    ``noise_kind`` / ``levels`` / ``scale`` / ``seed``), so adversarial
+    sweeps flow through the same executor engine, result store and figure
+    formatting as every other sweep.
+
+    Attributes
+    ----------
+    dataset:
+        Dataset name.
+    methods:
+        The coder configurations attacked (one per curve).
+    attack_kind:
+        Perturbation space: ``"delete"`` (remove spikes), ``"shift"`` (move
+        spikes by up to ``shift_delta`` steps) or ``"insert"`` (force extra
+        spikes).
+    budgets:
+        Perturbation budgets on the x-axis -- the maximum number of
+        single-spike moves per sample (integers; 0 = clean).
+    search:
+        Attack driver: ``"greedy"`` / ``"beam"`` (scored searches) or
+        ``"random"`` (the matched-budget unscored baseline).
+    shift_delta:
+        Maximum displacement of one shift move (``shift`` kind only).
+    beam_width:
+        Beam width (``beam`` search only).
+    max_candidates:
+        Candidates scored per search step (caps the per-sample cost).
+    evaluator:
+        Where the *accuracy* is measured: ``"transport"`` evaluates the
+        found attacks on the fast evaluator that also scored the search;
+        ``"timestep"`` transfer-evaluates them on the faithful membrane
+        simulation, measuring the transport->faithful attack gap.  The
+        search itself always runs on transport (scoring hundreds of
+        candidates per sample is only tractable there).
+    spike_backend / analog_backend:
+        Backend overrides for the deeper (non-attacked) interfaces; the
+        attacked input train itself is always event-backed.
+    """
+
+    dataset: str
+    methods: Tuple[MethodSpec, ...]
+    attack_kind: str
+    budgets: Tuple[int, ...]
+    scale: ExperimentScale = BENCH_SCALE
+    seed: int = 0
+    search: str = "greedy"
+    shift_delta: int = DEFAULT_SHIFT_DELTA
+    beam_width: int = 4
+    max_candidates: int = DEFAULT_MAX_CANDIDATES
+    evaluator: str = "transport"
+    spike_backend: Optional[str] = None
+    analog_backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        validate_choice("attack_kind", self.attack_kind, ATTACK_KINDS)
+        validate_choice("search", self.search, ATTACK_SEARCHES)
+        validate_choice("evaluator", self.evaluator, SIMULATORS)
+        if not self.methods:
+            raise ConfigError("an attack sweep needs at least one method")
+        if not self.budgets:
+            raise ConfigError("an attack sweep needs at least one budget")
+        for budget in self.budgets:
+            check_non_negative("budget", budget)
+            if int(budget) != budget:
+                raise ConfigError(
+                    f"attack budgets are move counts (integers), got {budget!r}"
+                )
+        check_positive("shift_delta", self.shift_delta)
+        check_positive("beam_width", self.beam_width)
+        check_positive("max_candidates", self.max_candidates)
+        if self.spike_backend is not None:
+            validate_choice("spike_backend", self.spike_backend, SPIKE_BACKENDS)
+        if self.analog_backend is not None:
+            validate_choice("analog_backend", self.analog_backend, ANALOG_BACKENDS)
+        # Per-capability validation, mirroring SweepConfig's timestep check:
+        # each coding declares whether the attack engine can search it, and
+        # transfer evaluation additionally needs the faithful simulator.
+        from repro.coding.registry import adversarial_support, timestep_support
+
+        problems = []
+        for coding in sorted({m.coding for m in self.methods}):
+            supported, note = adversarial_support(coding)
+            if not supported:
+                problems.append(f"{coding}: {note}")
+            elif self.evaluator == "timestep":
+                supported, note = timestep_support(coding)
+                if not supported:
+                    problems.append(f"{coding} (transfer evaluation): {note}")
+        if problems:
+            raise ConfigError(
+                "the adversarial attack engine cannot handle every requested "
+                "method -- " + "; ".join(problems) + " -- drop those "
+                "method(s) (e.g. restrict the sweep with --methods) or use "
+                "evaluator='transport'"
+            )
+
+    @property
+    def noise_kind(self) -> str:
+        """The sweep's axis name as rendered by figures/tables/logs."""
+        return f"adv-{self.attack_kind}"
+
+    @property
+    def levels(self) -> Tuple[float, ...]:
+        """The budgets as floats -- the x-axis the reporting layer plots."""
+        return tuple(float(b) for b in self.budgets)

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.execution.attack import build_attack_plans
 from repro.execution.engine import (
     CellFailure,
     ExecutionStats,
@@ -46,7 +47,7 @@ from repro.execution.executors import (
 )
 from repro.execution.plan import WorkloadRef, build_sweep_plans
 from repro.execution.store import ResultStore, resolve_store
-from repro.experiments.config import MethodSpec, SweepConfig
+from repro.experiments.config import AttackSweepConfig, MethodSpec, SweepConfig
 from repro.experiments.workloads import PreparedWorkload, prepare_workload
 from repro.utils.logging import get_logger
 from repro.utils.validation import level_index
@@ -428,6 +429,119 @@ def run_noise_sweep(
         workloads=workloads,
         eval_size=eval_size,
         batch_size=batch_size,
+        use_cache=use_cache,
+        max_workers=max_workers,
+        executor=executor,
+        store=store,
+        shards=shards,
+    )[0]
+
+
+def run_attack_sweeps(
+    configs: Sequence[AttackSweepConfig],
+    workloads: Optional[Dict[str, PreparedWorkload]] = None,
+    eval_size: Optional[int] = None,
+    use_cache: bool = True,
+    max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    shards: Optional[int] = None,
+) -> List[SweepResult]:
+    """Run several adversarial attack sweeps as one flat batch of cells.
+
+    The attack analogue of :func:`run_sweeps`: every config's (method x
+    budget) cells compile into :class:`~repro.execution.attack.AttackPlan`
+    values and dispatch through the *same* engine call, so attack sweeps get
+    executor choice, result-store resume, retries/timeouts, fault tolerance
+    and per-sample sharding identically to the noise sweeps -- and a single
+    batch can interleave, say, the greedy sweep with its matched random
+    baseline across all workers.  The returned :class:`SweepResult` objects
+    carry the attack configs in their ``config`` slot (budgets appear as the
+    level axis), so the existing reporting/plotting code renders them
+    unchanged.
+    """
+    backend = resolve_executor(executor, max_workers)
+    owns_backend = not isinstance(executor, Executor)
+    result_store = resolve_store(store)
+    prepared: Dict[WorkloadRef, PreparedWorkload] = {}
+    plans = []
+    spans: List[int] = []
+    refs: List[WorkloadRef] = []
+    for config in configs:
+        ref = WorkloadRef.from_sweep_config(config, use_cache=use_cache)
+        provided = (workloads or {}).get(config.dataset)
+        if provided is not None:
+            _check_workload_matches(provided, config)
+            if provided.seed is None and _workers_cannot_see(backend):
+                raise ValueError(
+                    "a hand-built workload (seed=None) cannot be used with "
+                    "the process executor under a non-fork start method: "
+                    "spawned workers would rebuild a different network from "
+                    "the workload reference; prepare the workload with "
+                    "prepare_workload (which records its seed) or use the "
+                    "serial/thread executor"
+                )
+            if provided.seed is not None and provided.seed != config.seed:
+                ref = replace(ref, seed=provided.seed)
+        refs.append(ref)
+        if ref not in prepared:
+            workload = provided or prepare_workload(
+                config.dataset, scale=config.scale, seed=config.seed,
+                use_cache=use_cache, store=result_store,
+            )
+            prepared[ref] = workload
+            register_workload(ref, workload)
+        config_plans = [
+            replace(plan, workload=ref)
+            for plan in build_attack_plans(
+                config, eval_size=eval_size, use_cache=use_cache
+            )
+        ]
+        spans.append(len(config_plans))
+        plans.extend(config_plans)
+
+    try:
+        evaluation = evaluate_plans(
+            plans, executor=backend, max_workers=max_workers,
+            store=result_store if result_store is not None else False,
+            workloads=prepared,
+            shards=shards,
+        )
+    finally:
+        if owns_backend:
+            backend.close()
+
+    sweeps: List[SweepResult] = []
+    offset = 0
+    for config, ref, span in zip(configs, refs, spans):
+        sweeps.append(
+            _assemble_sweep(
+                config,
+                prepared[ref],
+                evaluation.results[offset:offset + span],
+                evaluation.stats,
+            )
+        )
+        offset += span
+    return sweeps
+
+
+def run_attack_sweep(
+    config: AttackSweepConfig,
+    workload: Optional[PreparedWorkload] = None,
+    eval_size: Optional[int] = None,
+    use_cache: bool = True,
+    max_workers: Optional[int] = None,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    shards: Optional[int] = None,
+) -> SweepResult:
+    """Run one full (method x attack budget) worst-case sweep."""
+    workloads = None if workload is None else {config.dataset: workload}
+    return run_attack_sweeps(
+        [config],
+        workloads=workloads,
+        eval_size=eval_size,
         use_cache=use_cache,
         max_workers=max_workers,
         executor=executor,

@@ -24,7 +24,11 @@ import numpy as np
 from repro.execution.executors import Executor
 from repro.execution.store import ResultStore
 from repro.experiments.config import (
+    BENCH_ATTACK_BUDGETS,
     BENCH_SCALE,
+    DEFAULT_MAX_CANDIDATES,
+    DEFAULT_SHIFT_DELTA,
+    AttackSweepConfig,
     ExperimentScale,
     FAULT_NOISE_KINDS,
     MethodSpec,
@@ -34,7 +38,12 @@ from repro.experiments.config import (
     TABLE3_FAULT_LEVELS,
     filter_methods,
 )
-from repro.experiments.runner import MethodCurve, SweepResult, run_sweeps
+from repro.experiments.runner import (
+    MethodCurve,
+    SweepResult,
+    run_attack_sweeps,
+    run_sweeps,
+)
 from repro.experiments.workloads import PreparedWorkload
 
 
@@ -295,4 +304,102 @@ def table3_faults(
         spike_backend=spike_backend, analog_backend=analog_backend,
         batch_size=batch_size, simulator=simulator, method_filter=method_filter,
         shards=shards,
+    )
+
+
+def table_adversarial(
+    datasets: Sequence[str] = ("mnist",),
+    attack_kind: str = "delete",
+    budgets: Sequence[int] = BENCH_ATTACK_BUDGETS,
+    scale: ExperimentScale = BENCH_SCALE,
+    seed: int = 0,
+    workloads: Optional[Dict[str, PreparedWorkload]] = None,
+    eval_size: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    ttas_duration: int = 5,
+    executor: Union[str, Executor, None] = None,
+    store: Union[ResultStore, str, None, bool] = None,
+    spike_backend: Optional[str] = None,
+    analog_backend: Optional[str] = None,
+    batch_size: Optional[int] = None,
+    simulator: Optional[str] = None,
+    method_filter: Optional[Sequence[str]] = None,
+    shards: Optional[int] = None,
+    search: str = "greedy",
+    shift_delta: int = DEFAULT_SHIFT_DELTA,
+    beam_width: int = 4,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> TableResult:
+    """Worst-case robustness table: adversarial vs random, per coding.
+
+    For every dataset and coding the table holds two rows -- the budgeted
+    attacker's worst case (``search``, default greedy) and the
+    matched-budget random baseline -- across the attack-budget columns
+    (budget 0 is the "Clean" column).  ``simulator="timestep"`` transfer-
+    evaluates the found attacks on the faithful simulator (codings without
+    a temporal protocol are dropped by the config's validation there).
+    The cells of all datasets and both searches dispatch as one flat batch.
+    """
+    del batch_size  # attack cells evaluate sample-by-sample
+    from repro.coding.registry import timestep_support
+
+    evaluator = simulator if simulator is not None else "transport"
+    methods = [
+        MethodSpec(coding="rate"),
+        MethodSpec(coding="phase"),
+        MethodSpec(coding="burst"),
+        MethodSpec(coding="ttfs"),
+        MethodSpec(coding="ttas", target_duration=ttas_duration),
+    ]
+    methods = filter_methods(methods, method_filter)
+    if evaluator == "timestep":
+        methods = [m for m in methods if timestep_support(m.coding)[0]]
+        if not methods:
+            raise ValueError(
+                "no requested method supports timestep transfer evaluation"
+            )
+    configs = [
+        AttackSweepConfig(
+            dataset=dataset,
+            methods=tuple(methods),
+            attack_kind=attack_kind,
+            budgets=tuple(int(b) for b in budgets),
+            scale=scale,
+            seed=seed,
+            search=search_name,
+            shift_delta=shift_delta,
+            beam_width=beam_width,
+            max_candidates=max_candidates,
+            evaluator=evaluator,
+            spike_backend=spike_backend,
+            analog_backend=analog_backend,
+        )
+        for dataset in datasets
+        for search_name in (search, "random")
+    ]
+    sweeps = run_attack_sweeps(
+        configs,
+        workloads=workloads,
+        eval_size=eval_size,
+        max_workers=max_workers,
+        executor=executor,
+        store=store,
+        shards=shards,
+    )
+    rows: List[TableRow] = []
+    # Pair each dataset's (search, random) sweeps and interleave per method.
+    for pair_index in range(0, len(configs), 2):
+        dataset = configs[pair_index].dataset
+        worst, rand = sweeps[pair_index], sweeps[pair_index + 1]
+        for worst_curve, rand_curve in zip(worst.curves, rand.curves):
+            worst_row = _curve_to_row(dataset, worst_curve, include_spikes=True)
+            worst_row.method = f"{worst_curve.label} ({search})"
+            rand_row = _curve_to_row(dataset, rand_curve, include_spikes=True)
+            rand_row.method = f"{rand_curve.label} (random)"
+            rows.extend([worst_row, rand_row])
+    return TableResult(
+        name=f"Adversarial robustness (adv-{attack_kind}, {evaluator})",
+        rows=rows,
+        noise_kind=f"adv-{attack_kind}",
+        levels=[float(b) for b in budgets],
     )

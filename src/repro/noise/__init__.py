@@ -7,9 +7,27 @@ standard deviation ``sigma``.  This package implements exactly those two
 transforms plus a composite injector and, as extensions, the parametric
 weight-noise model used by earlier work for comparison and a family of
 structured hardware-fault models (dead neurons, stuck-at-fire neurons,
-correlated burst errors, weight quantization) in :mod:`repro.noise.faults`.
+correlated burst errors, weight quantization) in :mod:`repro.noise.faults`,
+and the budgeted worst-case spike-timing perturbation spaces and attack
+search drivers of :mod:`repro.noise.adversarial`.
 """
 
+from repro.noise.adversarial import (
+    ATTACK_KINDS,
+    ATTACK_SEARCHES,
+    AttackOutcome,
+    DeleteSpace,
+    InsertSpace,
+    PerturbationSpace,
+    ShiftSpace,
+    beam_attack,
+    classification_margins,
+    greedy_attack,
+    make_space,
+    random_attack,
+    run_attack_search,
+    stack_trains,
+)
 from repro.noise.base import IdentityNoise, SpikeNoise
 from repro.noise.deletion import DeletionNoise
 from repro.noise.faults import (
@@ -17,6 +35,7 @@ from repro.noise.faults import (
     DeadNeuronNoise,
     StuckAtFireNoise,
     WeightQuantizationNoise,
+    quantize_network,
     quantize_weights,
 )
 from repro.noise.jitter import JitterNoise
@@ -32,8 +51,23 @@ __all__ = [
     "DeadNeuronNoise",
     "StuckAtFireNoise",
     "WeightQuantizationNoise",
+    "quantize_network",
     "quantize_weights",
     "NoiseInjector",
     "GaussianWeightNoise",
     "apply_weight_noise",
+    "ATTACK_KINDS",
+    "ATTACK_SEARCHES",
+    "AttackOutcome",
+    "PerturbationSpace",
+    "DeleteSpace",
+    "ShiftSpace",
+    "InsertSpace",
+    "make_space",
+    "greedy_attack",
+    "beam_attack",
+    "random_attack",
+    "run_attack_search",
+    "classification_margins",
+    "stack_trains",
 ]

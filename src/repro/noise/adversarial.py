@@ -1,0 +1,492 @@
+"""Budgeted adversarial spike-timing perturbations and search drivers.
+
+Random noise (deletion, jitter, faults) measures *average-case* robustness;
+this module measures the *worst case* an adversary with a perturbation budget
+can force.  A perturbation space enumerates single-spike moves over the event
+backend -- delete one spike, shift one spike by up to ``delta`` steps, insert
+one spike -- and a search driver (greedy or beam) chains up to ``budget``
+moves, scoring candidate trains with a caller-supplied batched margin scorer.
+A matched-budget random driver provides the baseline the adversarial curve is
+plotted against.
+
+Everything here is pure event-array manipulation plus stateless RNG
+derivation: the same ``(train, budget, rng)`` triple always yields the same
+perturbed train, bit for bit, no matter which executor, shard or worker runs
+the search.  That determinism is what lets the execution engine treat an
+attack search as just another content-addressed, resumable sweep cell
+(:mod:`repro.execution.attack`).
+
+The scorer contract: ``score(trains) -> margins`` takes a list of
+single-sample event trains and returns one *classification margin* per train
+(true-class logit minus the best other logit).  Lower is worse for the
+network; a negative margin means the candidate already flips the prediction.
+Scorers batch all candidates into one stacked forward pass
+(:func:`stack_trains`), which is what keeps greedy search tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+import numpy as np
+
+from repro.snn.spikes import SpikeEvents, SpikeTrain
+from repro.utils.rng import RngLike, derive_rng_at, stream_root
+from repro.utils.validation import check_non_negative
+
+#: Supported perturbation spaces (CLI / config spelling).
+ATTACK_KINDS = ("delete", "shift", "insert")
+
+#: Supported search drivers.
+ATTACK_SEARCHES = ("greedy", "beam", "random")
+
+#: A batched margin scorer: list of candidate trains -> margin per train.
+MarginScorer = Callable[[Sequence[SpikeEvents]], np.ndarray]
+
+
+@dataclass
+class AttackOutcome:
+    """Result of one per-sample attack search.
+
+    Attributes
+    ----------
+    train:
+        The chosen (worst-found) perturbed train.
+    margin:
+        Classification margin of ``train`` under the search scorer (NaN for
+        the unscored random driver).
+    moves:
+        Number of single-spike moves actually applied (``<= budget``; greedy
+        stops early only when an *exhaustive* candidate round finds no
+        non-worsening move -- it keeps deepening the margin after a flip,
+        which is what makes found attacks transfer across evaluators).
+    candidates_scored:
+        Total number of candidate trains scored during the search -- the
+        work unit reported by the ``adversarial_search`` benchmark.
+    """
+
+    train: SpikeEvents
+    margin: float
+    moves: int
+    candidates_scored: int
+
+
+def as_events(train: SpikeTrain) -> SpikeEvents:
+    """Normalise either spike backend into a canonical event train."""
+    events = train.to_events()
+    events.occupied_slots()  # force canonical (time, neuron)-sorted order
+    return events
+
+
+def stack_trains(trains: Sequence[SpikeEvents]) -> SpikeEvents:
+    """Stack single-sample trains into one batched train.
+
+    Candidate ``i`` occupies batch slot ``i`` of the returned train's
+    ``(len(trains), *population_shape)`` population, so a scorer evaluates
+    every candidate in one forward pass instead of ``len(trains)`` passes.
+    """
+    if not trains:
+        raise ValueError("stack_trains needs at least one train")
+    base = trains[0]
+    shape = base.population_shape
+    num_steps = base.num_steps
+    stride = base.num_neurons
+    times: List[np.ndarray] = []
+    neurons: List[np.ndarray] = []
+    counts: List[np.ndarray] = []
+    for slot, train in enumerate(trains):
+        if train.num_steps != num_steps or train.population_shape != shape:
+            raise ValueError(
+                "stack_trains requires identical window and population; got "
+                f"({train.num_steps}, {train.population_shape}) vs "
+                f"({num_steps}, {shape})"
+            )
+        times.append(train.times)
+        neurons.append(train.neuron_indices + slot * stride)
+        counts.append(train.event_counts)
+    return SpikeEvents(
+        np.concatenate(times), np.concatenate(neurons), np.concatenate(counts),
+        num_steps, (len(trains),) + shape,
+    )
+
+
+def classification_margins(logits: np.ndarray, label: int) -> np.ndarray:
+    """Per-row margin of the true class over the best other class."""
+    logits = np.asarray(logits, dtype=np.float64)
+    true_scores = logits[:, label].copy()
+    others = logits.copy()
+    others[:, label] = -np.inf
+    return true_scores - others.max(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# Perturbation spaces
+# ---------------------------------------------------------------------------
+class PerturbationSpace:
+    """One family of budgeted single-spike moves over an event train.
+
+    ``candidates`` proposes up to ``max_candidates`` trains that differ from
+    ``train`` by exactly one move (for the search drivers); ``random_move``
+    applies one uniformly random move of the same family (for the
+    matched-budget random baseline).  Both are pure: candidate order and
+    sampling depend only on the supplied generator and the train's canonical
+    event order.
+    """
+
+    kind = ""
+
+    def candidates(
+        self,
+        train: SpikeEvents,
+        rng: np.random.Generator,
+        max_candidates: int,
+    ) -> List[SpikeEvents]:
+        raise NotImplementedError
+
+    def random_move(
+        self, train: SpikeEvents, rng: np.random.Generator
+    ) -> SpikeEvents:
+        raise NotImplementedError
+
+    @staticmethod
+    def _pick(count: int, rng: np.random.Generator, limit: int) -> np.ndarray:
+        """Indices of the proposals to keep: all of them, or a random subset.
+
+        Sorted so candidate order stays canonical even when subsampled.
+        """
+        if count <= limit:
+            return np.arange(count)
+        return np.sort(rng.choice(count, size=limit, replace=False))
+
+    @staticmethod
+    def _pick_spike(
+        train: SpikeEvents, rng: np.random.Generator
+    ) -> int:
+        """One event index, each *spike* (not slot) equally likely."""
+        weights = train.event_counts / train.event_counts.sum()
+        return int(rng.choice(train.event_counts.size, p=weights))
+
+
+class DeleteSpace(PerturbationSpace):
+    """Remove one spike per move (decrement one occupied slot)."""
+
+    kind = "delete"
+
+    def candidates(self, train, rng, max_candidates):
+        train = as_events(train)
+        num_events = train.times.size
+        if num_events == 0:
+            return []
+        out: List[SpikeEvents] = []
+        for index in self._pick(num_events, rng, max_candidates):
+            counts = train.event_counts.copy()
+            counts[index] -= 1
+            out.append(SpikeEvents(
+                train.times, train.neuron_indices, counts,
+                train.num_steps, train.population_shape,
+            ))
+        return out
+
+    def random_move(self, train, rng):
+        train = as_events(train)
+        if train.times.size == 0:
+            return train.view()
+        counts = train.event_counts.copy()
+        counts[self._pick_spike(train, rng)] -= 1
+        return SpikeEvents(
+            train.times, train.neuron_indices, counts,
+            train.num_steps, train.population_shape,
+        )
+
+
+class ShiftSpace(PerturbationSpace):
+    """Move one spike by ``s`` steps, ``s`` in ``[-delta, delta] \\ {0}``."""
+
+    kind = "shift"
+
+    def __init__(self, delta: int = 2):
+        if delta < 1:
+            raise ValueError(f"shift delta must be >= 1, got {delta}")
+        self.delta = int(delta)
+
+    def _moved(
+        self, train: SpikeEvents, event_index: int, new_time: int
+    ) -> SpikeEvents:
+        """One spike of ``event_index`` moved to ``new_time`` (same neuron)."""
+        counts = train.event_counts.copy()
+        counts[event_index] -= 1
+        return SpikeEvents(
+            np.append(train.times, np.int64(new_time)),
+            np.append(train.neuron_indices, train.neuron_indices[event_index]),
+            np.append(counts, np.int64(1)),
+            train.num_steps, train.population_shape,
+        )
+
+    def _valid_moves(self, train: SpikeEvents):
+        """All (event index, shifted time) pairs inside the window."""
+        shifts = np.array(
+            [s for s in range(-self.delta, self.delta + 1) if s != 0],
+            dtype=np.int64,
+        )
+        indices = np.repeat(np.arange(train.times.size), shifts.size)
+        shifted = np.tile(shifts, train.times.size) + train.times[indices]
+        valid = (shifted >= 0) & (shifted < train.num_steps)
+        return indices[valid], shifted[valid]
+
+    def candidates(self, train, rng, max_candidates):
+        train = as_events(train)
+        if train.times.size == 0:
+            return []
+        indices, shifted = self._valid_moves(train)
+        picks = self._pick(indices.size, rng, max_candidates)
+        return [
+            self._moved(train, int(indices[p]), int(shifted[p])) for p in picks
+        ]
+
+    def random_move(self, train, rng):
+        train = as_events(train)
+        if train.times.size == 0:
+            return train.view()
+        event_index = self._pick_spike(train, rng)
+        time = int(train.times[event_index])
+        moves = [
+            time + s
+            for s in range(-self.delta, self.delta + 1)
+            if s != 0 and 0 <= time + s < train.num_steps
+        ]
+        if not moves:
+            return train.view()
+        return self._moved(train, event_index, int(rng.choice(moves)))
+
+
+class InsertSpace(PerturbationSpace):
+    """Force one extra spike per move, anywhere on the ``(T, N)`` grid."""
+
+    kind = "insert"
+
+    @staticmethod
+    def _inserted(train: SpikeEvents, time: int, neuron: int) -> SpikeEvents:
+        return SpikeEvents(
+            np.append(train.times, np.int64(time)),
+            np.append(train.neuron_indices, np.int64(neuron)),
+            np.append(train.event_counts, np.int64(1)),
+            train.num_steps, train.population_shape,
+        )
+
+    def candidates(self, train, rng, max_candidates):
+        train = as_events(train)
+        total_slots = train.num_steps * train.num_neurons
+        picks = self._pick(total_slots, rng, max_candidates)
+        return [
+            self._inserted(train, *divmod(int(slot), train.num_neurons))
+            for slot in picks
+        ]
+
+    def random_move(self, train, rng):
+        train = as_events(train)
+        slot = int(rng.integers(train.num_steps * train.num_neurons))
+        return self._inserted(train, *divmod(slot, train.num_neurons))
+
+
+def make_space(kind: str, shift_delta: int = 2) -> PerturbationSpace:
+    """Build the perturbation space for an attack kind."""
+    if kind == "delete":
+        return DeleteSpace()
+    if kind == "shift":
+        return ShiftSpace(delta=shift_delta)
+    if kind == "insert":
+        return InsertSpace()
+    raise ValueError(f"attack kind must be one of {ATTACK_KINDS}, got {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Search drivers
+# ---------------------------------------------------------------------------
+def greedy_attack(
+    train: SpikeTrain,
+    space: PerturbationSpace,
+    budget: int,
+    score: MarginScorer,
+    rng: RngLike = None,
+    max_candidates: int = 64,
+) -> AttackOutcome:
+    """Chain up to ``budget`` locally-worst moves.
+
+    Each step scores the incumbent train *and* up to ``max_candidates``
+    one-move candidates in a single batched call and keeps the margin
+    minimiser.  The search runs the full budget -- deliberately deepening
+    the margin past the first flip, so found attacks survive evaluator
+    disagreements (the transport->timestep transfer) -- and stops early
+    only when an exhaustive round proves a local minimum.
+
+    The incumbent rides along in every call on purpose: for stochastic
+    coders the scorer's margins carry per-slot encoding noise, so a margin
+    remembered from an earlier call is an unfair (optimistically biased,
+    best-of-N) baseline that stalls the search after a handful of moves.
+    Comparing candidates against the incumbent's margin *from the same
+    call* keeps every decision within one realisation.
+
+    Two refinements keep the search from stalling prematurely:
+
+    * *Plateau walking.*  The transport scorer quantises interface
+      activations to spike counts, so single moves frequently land on a
+      margin plateau (delta exactly 0).  A tied best candidate is accepted
+      -- the cumulative analog mass of plateau moves eventually crosses the
+      next quantisation boundary, where margins resume dropping.  Strictly
+      worsening moves are never taken.
+    * *Resampling.*  A round whose candidates are all strictly worse only
+      ends the search when it enumerated the *whole* move space; a
+      subsampled round (large trains, ``max_candidates`` below the space
+      size) proves nothing about the unseen moves, so the search resamples
+      on the next round -- budget bounds the number of rounds either way.
+    """
+    check_non_negative("budget", budget)
+    root = stream_root(rng)
+    current = as_events(train)
+    margin = float(np.asarray(score([current]))[0])
+    scored = 1
+    moves = 0
+    for step in range(int(budget)):
+        proposals = space.candidates(
+            current, derive_rng_at(root, "candidates", step), max_candidates
+        )
+        if not proposals:
+            break
+        margins = np.asarray(score([current] + proposals), dtype=np.float64)
+        scored += len(proposals) + 1
+        margin = float(margins[0])
+        best = 1 + int(margins[1:].argmin())
+        if margins[best] > margin:
+            if len(proposals) < max_candidates:
+                break  # exhaustive round: a true local minimum
+            continue
+        current = proposals[best - 1]
+        margin = float(margins[best])
+        moves += 1
+    return AttackOutcome(
+        train=current, margin=margin, moves=moves, candidates_scored=scored
+    )
+
+
+def beam_attack(
+    train: SpikeTrain,
+    space: PerturbationSpace,
+    budget: int,
+    score: MarginScorer,
+    rng: RngLike = None,
+    beam_width: int = 4,
+    max_candidates: int = 64,
+) -> AttackOutcome:
+    """Width-``beam_width`` beam search over move chains.
+
+    Every step each beam branch proposes ``max_candidates / width``
+    one-move extensions; the best-so-far train and the pooled proposals are
+    scored in one batched call and the ``beam_width`` lowest margins
+    survive.  Returns the globally lowest-margin train seen (which may use
+    fewer than ``budget`` moves).
+
+    As in :func:`greedy_attack`, the best-so-far train is re-scored inside
+    every call so that, under a stochastic scorer, the front of the beam is
+    compared against it within a single realisation rather than against a
+    stale best-of-N margin.
+    """
+    check_non_negative("budget", budget)
+    if beam_width < 1:
+        raise ValueError(f"beam_width must be >= 1, got {beam_width}")
+    root = stream_root(rng)
+    start = as_events(train)
+    margin = float(np.asarray(score([start]))[0])
+    scored = 1
+    beam = [start]
+    best = AttackOutcome(
+        train=start, margin=margin, moves=0, candidates_scored=scored
+    )
+    for step in range(int(budget)):
+        per_branch = max(1, max_candidates // len(beam))
+        proposals: List[SpikeEvents] = []
+        for branch, candidate in enumerate(beam):
+            proposals.extend(space.candidates(
+                candidate,
+                derive_rng_at(root, "beam", step, branch),
+                per_branch,
+            ))
+        if not proposals:
+            break
+        margins = np.asarray(score([best.train] + proposals), dtype=np.float64)
+        scored += len(proposals) + 1
+        best_margin = float(margins[0])
+        proposal_margins = margins[1:]
+        order = np.argsort(proposal_margins, kind="stable")[:beam_width]
+        beam = [proposals[int(i)] for i in order]
+        front = float(proposal_margins[int(order[0])])
+        if front < best_margin:
+            best = AttackOutcome(
+                train=beam[0], margin=front, moves=step + 1,
+                candidates_scored=scored,
+            )
+        else:
+            best = AttackOutcome(
+                train=best.train, margin=best_margin, moves=best.moves,
+                candidates_scored=scored,
+            )
+    return AttackOutcome(
+        train=best.train, margin=best.margin, moves=best.moves,
+        candidates_scored=scored,
+    )
+
+
+def random_attack(
+    train: SpikeTrain,
+    space: PerturbationSpace,
+    budget: int,
+    rng: RngLike = None,
+) -> AttackOutcome:
+    """Apply exactly ``budget`` random moves -- the matched-budget baseline.
+
+    Unscored (margin is NaN): this is the control the adversarial curves are
+    compared against, spending the same budget blindly.
+    """
+    check_non_negative("budget", budget)
+    root = stream_root(rng)
+    current = as_events(train)
+    for move in range(int(budget)):
+        current = space.random_move(current, derive_rng_at(root, "move", move))
+    return AttackOutcome(
+        train=current, margin=float("nan"), moves=int(budget),
+        candidates_scored=0,
+    )
+
+
+def run_attack_search(
+    train: SpikeTrain,
+    kind: str,
+    search: str,
+    budget: int,
+    score: MarginScorer,
+    rng: RngLike = None,
+    shift_delta: int = 2,
+    beam_width: int = 4,
+    max_candidates: int = 64,
+) -> AttackOutcome:
+    """Dispatch one per-sample attack search by (kind, search) name.
+
+    The single entry point the attack-plan evaluator and the determinism
+    tests share: a pure function of its arguments, so the same inputs yield
+    the same perturbed train on every executor, shard and worker count.
+    """
+    space = make_space(kind, shift_delta=shift_delta)
+    if search == "greedy":
+        return greedy_attack(
+            train, space, budget, score, rng=rng, max_candidates=max_candidates
+        )
+    if search == "beam":
+        return beam_attack(
+            train, space, budget, score, rng=rng,
+            beam_width=beam_width, max_candidates=max_candidates,
+        )
+    if search == "random":
+        return random_attack(train, space, budget, rng=rng)
+    raise ValueError(
+        f"search must be one of {ATTACK_SEARCHES}, got {search!r}"
+    )

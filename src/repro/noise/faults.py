@@ -25,7 +25,8 @@ event backends produce bit-identical corrupted trains.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import copy
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
 
@@ -33,6 +34,9 @@ from repro.noise.base import SpikeNoise
 from repro.snn.spikes import SpikeTrain
 from repro.utils.rng import RngLike, default_rng
 from repro.utils.validation import check_positive, check_probability
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard (conversion -> noise)
+    from repro.conversion.converter import ConvertedSNN
 
 
 def _feature_shape(train: SpikeTrain) -> Tuple[int, ...]:
@@ -165,3 +169,44 @@ def quantize_weights(weight_list: List[np.ndarray], bits: int) -> List[np.ndarra
     """Quantise a list of weight tensors (mirrors ``apply_weight_noise``)."""
     model = WeightQuantizationNoise(bits)
     return [model.perturb(w, key=i) for i, w in enumerate(weight_list)]
+
+
+def quantize_network(network: "ConvertedSNN", bits: int) -> "ConvertedSNN":
+    """A copy of ``network`` with every weight tensor quantised to ``bits``.
+
+    Biases and activation scales are untouched (fixed-point synapse storage
+    quantises the weight matrices; accumulators are wider), and the input
+    network is never mutated: weighted layers are shallow-copied with a fresh
+    ``params`` dict, and segments are rebuilt so no stale per-segment caches
+    survive.  Both evaluators consume the result like any other network.
+    """
+    from repro.conversion.converter import ConvertedSNN, NetworkSegment
+
+    model = WeightQuantizationNoise(bits)
+    segments = []
+    for segment in network.segments:
+        layers = []
+        for layer in segment.layers:
+            weight = layer.params.get("weight") if layer.params else None
+            if weight is None:
+                layers.append(layer)
+                continue
+            clone = copy.copy(layer)
+            clone.params = dict(layer.params)
+            clone.params["weight"] = model.perturb(weight)
+            layers.append(clone)
+        segments.append(
+            NetworkSegment(
+                layers=layers,
+                ends_with_spikes=segment.ends_with_spikes,
+                activation_scale=segment.activation_scale,
+                index=segment.index,
+            )
+        )
+    return ConvertedSNN(
+        segments=segments,
+        input_scale=network.input_scale,
+        statistics=network.statistics,
+        source_name=network.source_name,
+        batch_norm_fused=network.batch_norm_fused,
+    )

@@ -11,6 +11,18 @@ from repro.noise.jitter import JitterNoise
 from repro.snn.spikes import SpikeTrain
 from repro.utils.rng import RngLike, derive_rng
 
+#: The fixed application order of :meth:`NoiseInjector.from_levels`, by model
+#: name.  Part of the public determinism contract: transmission noise -- the
+#: i.i.d. models (deletion, jitter) then the correlated burst errors -- acts
+#: on the spikes in flight, so it is applied before the persistent circuit
+#: faults (dead, stuck-at-fire) of the receiving population.  The order is
+#: load-bearing twice over: the models do not commute (a stuck-at-fire
+#: neuron's forced spikes must not be re-deleted; jitter must not move spikes
+#: into a window a burst error already erased), and each model's RNG stream
+#: is keyed by ``(name, position)``, so reordering would also change every
+#: realisation.  Regression-tested in ``tests/test_noise.py``.
+COMPOSITION_ORDER = ("deletion", "jitter", "burst_error", "dead", "stuck")
+
 
 class NoiseInjector(SpikeNoise):
     """Apply a sequence of noise models one after the other.
@@ -39,10 +51,19 @@ class NoiseInjector(SpikeNoise):
     ) -> "NoiseInjector":
         """Build an injector from scalar noise levels (0 disables a model).
 
-        The i.i.d. transmission noise (deletion, jitter) and the correlated
-        burst errors act on the spikes in flight, so they are applied before
-        the persistent circuit faults (dead, stuck-at-fire) of the receiving
-        population.
+        Models are composed in the fixed :data:`COMPOSITION_ORDER`
+        (deletion -> jitter -> burst_error -> dead -> stuck): the i.i.d.
+        transmission noise and the correlated burst errors act on the spikes
+        in flight, so they are applied before the persistent circuit faults
+        (dead, stuck-at-fire) of the receiving population.  The order is
+        deterministic on every backend and part of every sweep cell's
+        reproducibility contract (see :data:`COMPOSITION_ORDER` for why it
+        cannot be permuted silently).  The timing and fault models (jitter,
+        burst, dead, stuck) are additionally *backend-invariant* -- dense and
+        event trains realise bit-identical corruptions; deletion draws one
+        variate per dense grid slot but one per event on the event backend
+        (the O(events) thinning optimisation), so its two realisations are
+        identically distributed without being bit-identical.
         """
         models: List[SpikeNoise] = []
         if deletion_probability > 0:

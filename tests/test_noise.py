@@ -134,6 +134,86 @@ class TestNoiseInjector:
         assert "deletion" in text and "jitter" in text
 
 
+class TestCompositionOrder:
+    """The injector's model order is a documented, frozen contract."""
+
+    ALL_LEVELS = dict(
+        deletion_probability=0.2,
+        jitter_sigma=1.0,
+        burst_error_fraction=0.1,
+        dead_fraction=0.1,
+        stuck_fraction=0.1,
+    )
+
+    def test_from_levels_follows_composition_order(self):
+        from repro.noise.injector import COMPOSITION_ORDER
+
+        injector = NoiseInjector.from_levels(**self.ALL_LEVELS)
+        assert tuple(m.name for m in injector.models) == COMPOSITION_ORDER
+
+    def test_order_is_stable_under_partial_levels(self):
+        # Disabling models must drop them without reordering the survivors.
+        from repro.noise.injector import COMPOSITION_ORDER
+
+        injector = NoiseInjector.from_levels(
+            jitter_sigma=1.0, stuck_fraction=0.1, deletion_probability=0.2
+        )
+        names = tuple(m.name for m in injector.models)
+        assert names == ("deletion", "jitter", "stuck")
+        assert names == tuple(n for n in COMPOSITION_ORDER if n in names)
+
+    def test_full_stack_deterministic(self):
+        train = dense_train(p=0.4)
+        injector = NoiseInjector.from_levels(**self.ALL_LEVELS)
+        assert injector.apply(train, rng=11) == injector.apply(train, rng=11)
+
+    def test_timing_and_fault_stack_is_backend_invariant(self):
+        # Jitter, burst, dead and stuck draw per-spike / per-neuron streams,
+        # so the composed corruption is bit-identical whether the input train
+        # is dense or event-driven: same order, same derived streams.
+        dense = dense_train(seed=5, p=0.4)
+        events = dense.to_events()
+        injector = NoiseInjector.from_levels(
+            jitter_sigma=1.0, burst_error_fraction=0.1,
+            dead_fraction=0.1, stuck_fraction=0.1,
+        )
+        noisy_dense = injector.apply(dense, rng=23)
+        noisy_events = injector.apply(events, rng=23)
+        assert np.array_equal(
+            noisy_dense.to_dense().counts, noisy_events.to_dense().counts
+        )
+
+    def test_deletion_backends_deterministic_and_distribution_matched(self):
+        # Deletion is the documented exception to bit-level backend
+        # invariance: the dense backend draws one variate per grid slot, the
+        # event backend one per event (the O(events) optimisation).  Each
+        # backend is individually deterministic and both thin at the same
+        # rate.
+        dense = dense_train(seed=5, p=0.4)
+        events = dense.to_events()
+        injector = NoiseInjector.from_levels(**self.ALL_LEVELS)
+        assert injector.apply(dense, rng=23) == injector.apply(dense, rng=23)
+        assert injector.apply(events, rng=23) == injector.apply(events, rng=23)
+        survival = 1.0 - self.ALL_LEVELS["deletion_probability"]
+        deletion = NoiseInjector.from_levels(
+            deletion_probability=self.ALL_LEVELS["deletion_probability"]
+        )
+        for train in (dense, events):
+            kept = deletion.apply(train, rng=23).total_spikes()
+            assert abs(kept / train.total_spikes() - survival) < 0.1
+
+    def test_order_matters(self):
+        # Sanity check that the contract is not vacuous: swapping deletion
+        # and stuck-at-fire changes the realisation (stuck spikes would be
+        # re-deleted), so the frozen order is load-bearing.
+        from repro.noise import DeletionNoise, StuckAtFireNoise
+
+        train = dense_train(seed=9, p=0.5)
+        forward = NoiseInjector([DeletionNoise(0.5), StuckAtFireNoise(0.3)])
+        swapped = NoiseInjector([StuckAtFireNoise(0.3), DeletionNoise(0.5)])
+        assert forward.apply(train, rng=4) != swapped.apply(train, rng=4)
+
+
 class TestWeightNoise:
     def test_static_noise_is_reused(self):
         model = GaussianWeightNoise(0.1, static=True)
