@@ -42,6 +42,13 @@ so the performance trajectory is tracked across PRs (and gated by the CI
   tracking only; the *same-run* 1-shard/4-shard ratio is exported as
   ``summary.cell_sharding_speedup`` and gated by CI via
   ``--min-shard-speedup``,
+* **serving** -- the request-shaped serving path: sequential-singles vs
+  micro-batched evaluation of the same request set under 32 concurrent
+  clients, per evaluator (transport and timestep), with p50/p99 latency
+  and requests-per-second from the shared latency-histogram helper.  The
+  absolutes are core-count-bound (trend-only); the same-run transport
+  throughput ratio is exported as ``summary.serving_speedup`` and gated
+  by CI via ``--min-serving-speedup``,
 * **adversarial search** -- the greedy spike-deletion attack
   (:mod:`repro.noise.adversarial`) on the test-scale mnist MLP through the
   batched transport scorer: per-sample search seconds (gated like any hot
@@ -68,6 +75,7 @@ import os
 import platform
 import statistics
 import sys
+import threading
 import time
 from typing import Callable, Dict
 
@@ -158,6 +166,15 @@ SHARD_CELL = {"eval_size": 64, "batch_size": 8}
 #: on the test-scale mnist MLP, scored through the batched transport
 #: evaluator.  Budget and candidate cap match the acceptance-scale sweeps.
 ADVERSARIAL_SHAPE = {"budget": 8, "max_candidates": 48, "samples": 4}
+
+#: Shape of the serving benchmark: concurrent single-sample clients against
+#: the micro-batching scheduler vs a sequential-singles loop over the same
+#: requests.  ``requests`` counts per measurement pass and evaluator
+#: (timestep runs the slower faithful simulator, so it gets fewer).
+SERVING_SHAPE = {
+    "clients": 32, "max_batch": 8, "max_delay_ms": 2.0,
+    "transport_requests": 64, "timestep_requests": 32, "num_steps": 16,
+}
 
 
 def _time(fn: Callable[[], object], repeats: int) -> float:
@@ -734,6 +751,151 @@ def bench_adversarial_search(repeats: int) -> Dict[str, Dict[str, float]]:
     return results
 
 
+def bench_serving(repeats: int) -> Dict[str, Dict[str, float]]:
+    """Time request-shaped serving: sequential singles vs micro-batching.
+
+    One test-scale mnist model behind a :class:`ModelRegistry`; per
+    evaluator, the same request set is measured twice:
+
+    * **sequential singles** -- one client thread calling ``serve_single``
+      request after request, the no-scheduler baseline,
+    * **micro-batched** -- ``clients`` concurrent threads submitting through
+      the :class:`MicroBatchScheduler` at ``max_batch``/``max_delay_ms``,
+      per-request latency measured submit-to-result.
+
+    Both paths produce bit-identical logits (asserted below), so the only
+    difference is scheduling.  Latency pools across all measurement passes
+    feed the shared :func:`repro.metrics.latency_summary` helper (p50 / p90
+    / p99); throughput is the median requests-per-second across passes.
+    The absolute numbers are core-count-bound (``config.cpu_count``), so
+    the section is trend-only for the regression gate; the same-run
+    transport batched/sequential throughput ratio is exported as
+    ``summary.serving_speedup`` and gated via ``--min-serving-speedup``.
+    """
+    from repro.data.synthetic import load_dataset
+    from repro.experiments.config import TEST_SCALE
+    from repro.metrics import latency_summary
+    from repro.serving import (
+        MicroBatchScheduler,
+        ModelRegistry,
+        RequestSpec,
+        serve_single,
+    )
+
+    cfg = SERVING_SHAPE
+    registry = ModelRegistry(store=False)
+    key = registry.register("mnist", scale=TEST_SCALE, seed=0, use_cache=False)
+    servable = registry.get(key)
+    images = load_dataset("mnist", rng=0).test.x
+
+    specs = {
+        "transport": RequestSpec.create(
+            evaluator="transport", coding="rate", num_steps=cfg["num_steps"]
+        ),
+        "timestep": RequestSpec.create(
+            evaluator="timestep", coding="rate", num_steps=cfg["num_steps"],
+            threshold=0.1,
+        ),
+    }
+    # A measurement pass runs dozens of requests; a third of the micro-op
+    # repeats keeps the bench bounded while pooling enough latencies for
+    # stable tail percentiles.
+    passes = max(3, repeats // 3)
+    results: Dict[str, Dict[str, float]] = {
+        "config": dict(cfg, scale=TEST_SCALE.name,
+                       cpu_count=os.cpu_count() or 1, passes=passes),
+    }
+    for name, spec in specs.items():
+        count = cfg[f"{name}_requests"]
+        samples = [np.asarray(images[i % len(images)], dtype=np.float32)
+                   for i in range(count)]
+        references = [serve_single(servable, spec, sample)
+                      for sample in samples]
+
+        sequential_latencies: list = []
+        sequential_seconds: list = []
+        for _ in range(passes):
+            start = time.perf_counter()
+            pass_latencies = []
+            for sample in samples:
+                t0 = time.perf_counter()
+                serve_single(servable, spec, sample)
+                pass_latencies.append(time.perf_counter() - t0)
+            sequential_seconds.append(time.perf_counter() - start)
+            sequential_latencies.append(pass_latencies)
+
+        batched_latencies: list = []
+        batched_seconds: list = []
+        per_client = count // cfg["clients"] or 1
+        for _ in range(passes):
+            with MicroBatchScheduler(
+                registry, max_batch=cfg["max_batch"],
+                max_delay_ms=cfg["max_delay_ms"],
+            ) as scheduler:
+                pass_latencies = []
+                outcomes: Dict[int, object] = {}
+                lock = threading.Lock()
+
+                def client(indices):
+                    for index in indices:
+                        t0 = time.perf_counter()
+                        result = scheduler.submit(
+                            key, samples[index], spec=spec
+                        ).result(timeout=120)
+                        elapsed = time.perf_counter() - t0
+                        with lock:
+                            pass_latencies.append(elapsed)
+                            outcomes[index] = result
+                start = time.perf_counter()
+                threads = [
+                    threading.Thread(
+                        target=client,
+                        args=(range(c, count, cfg["clients"]),),
+                    )
+                    for c in range(cfg["clients"])
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                batched_seconds.append(time.perf_counter() - start)
+                batched_latencies.append(pass_latencies)
+            for index, reference in enumerate(references):
+                assert np.array_equal(
+                    outcomes[index].logits, reference.logits
+                ), "micro-batched logits diverged from sequential singles"
+
+        sequential = latency_summary(sequential_latencies)
+        batched = latency_summary(batched_latencies)
+        sequential_rps = count / statistics.median(sequential_seconds)
+        batched_rps = count / statistics.median(batched_seconds)
+        results[name] = {
+            "requests": count,
+            "per_client": per_client,
+            "sequential_p50": sequential.p50,
+            "sequential_p99": sequential.p99,
+            "sequential_requests_per_sec": sequential_rps,
+            "batched_p50": batched.p50,
+            "batched_p99": batched.p99,
+            "batched_requests_per_sec": batched_rps,
+            "throughput_speedup": batched_rps / sequential_rps,
+        }
+
+    print(f"\nserving (mnist {TEST_SCALE.name}-scale, {cfg['clients']} "
+          f"clients, max_batch {cfg['max_batch']}, "
+          f"max_delay {cfg['max_delay_ms']}ms, {os.cpu_count() or 1} cpu(s))")
+    print(f"  {'evaluator':<12}{'seq p50':>10}{'bat p50':>10}"
+          f"{'seq rps':>10}{'bat rps':>10}{'speedup':>9}")
+    for name in specs:
+        row = results[name]
+        print(f"  {name:<12}{row['sequential_p50'] * 1e3:>8.1f}ms"
+              f"{row['batched_p50'] * 1e3:>8.1f}ms"
+              f"{row['sequential_requests_per_sec']:>10.0f}"
+              f"{row['batched_requests_per_sec']:>10.0f}"
+              f"{row['throughput_speedup']:>8.2f}x")
+    return results
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--population", type=int, default=4096,
@@ -781,6 +943,7 @@ def main(argv=None) -> int:
     report["results"]["sweep_orchestration"] = bench_sweep_orchestration(args.repeats)
     report["results"]["cell_sharding"] = bench_cell_sharding(args.repeats)
     report["results"]["adversarial_search"] = bench_adversarial_search(args.repeats)
+    report["results"]["serving"] = bench_serving(args.repeats)
 
     chain_speedups = {
         name: result["speedup_dense_over_events"]["delete_jitter_decode"]
@@ -805,6 +968,9 @@ def main(argv=None) -> int:
         "adversarial_candidates_per_sec": report["results"][
             "adversarial_search"
         ]["ttas3"]["candidates_per_sec"],
+        "serving_speedup": report["results"]["serving"]["transport"][
+            "throughput_speedup"
+        ],
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2)

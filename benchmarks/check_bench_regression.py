@@ -61,7 +61,7 @@ DEFAULT_TOLERANCE = 1.5
 #: lower-is-better timing rule would misread (its seconds-per-sample twin
 #: is gated normally).  They stay in the report for trend tracking.
 _NON_TIMING_KEYS = ("config", "sparsity", "max_abs_diff", "dispatch_per_cell",
-                    "store", "cell_sharding", "candidates_per_sec")
+                    "store", "cell_sharding", "candidates_per_sec", "serving")
 
 
 def iter_timings(results: Dict, prefix: str = "") -> Iterator[Tuple[str, float]]:
@@ -224,6 +224,32 @@ def check_shard_speedup(candidate: Dict, minimum: float) -> Tuple[bool, str]:
     )
 
 
+def check_serving_speedup(candidate: Dict, minimum: float) -> Tuple[bool, str]:
+    """Require the candidate's serving throughput speedup to meet ``minimum``.
+
+    The speedup (``summary.serving_speedup``) is a same-run, same-machine
+    ratio -- micro-batched transport throughput under concurrent clients
+    over a sequential-singles loop on the same requests -- so no
+    calibration normalisation applies.
+    """
+    speedup = (candidate.get("summary") or {}).get("serving_speedup")
+    if speedup is None:
+        return False, (
+            "FAIL: candidate report has no summary.serving_speedup "
+            "(bench_hot_paths.py too old?)"
+        )
+    if float(speedup) < minimum:
+        return False, (
+            f"FAIL: serving throughput speedup {float(speedup):.2f}x is "
+            f"below the required {minimum:.2f}x (micro-batched vs "
+            f"sequential singles, transport evaluator)"
+        )
+    return True, (
+        f"serving throughput speedup {float(speedup):.2f}x "
+        f">= required {minimum:.2f}x"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", default=BASELINE_PATH,
@@ -243,6 +269,11 @@ def main(argv=None) -> int:
                              "summary.cell_sharding_speedup (same-run "
                              "unsharded/4-shard faithful-simulator cell) "
                              "to be at least this factor")
+    parser.add_argument("--min-serving-speedup", type=float, default=None,
+                        help="additionally require the candidate's "
+                             "summary.serving_speedup (same-run "
+                             "micro-batched vs sequential-singles transport "
+                             "throughput) to be at least this factor")
     args = parser.parse_args(argv)
 
     tolerance = args.tolerance
@@ -275,6 +306,12 @@ def main(argv=None) -> int:
         )
         print(message)
         ok = ok and shard_ok
+    if args.min_serving_speedup is not None:
+        serving_ok, message = check_serving_speedup(
+            candidate, args.min_serving_speedup
+        )
+        print(message)
+        ok = ok and serving_ok
     return 0 if ok else 1
 
 

@@ -41,7 +41,8 @@ sample's input spike train for the worst perturbation (``--attack-search``,
 ``--budgets``) and the matched-budget random baseline rides along for
 comparison; ``--simulator timestep`` transfer-evaluates the found attacks on
 the faithful simulator.  ``store gc`` removes orphaned shard documents left
-behind by killed runs and reports the bytes reclaimed.
+behind by killed runs plus unreadable workload conversion documents, and
+reports the bytes reclaimed per section.
 """
 
 from __future__ import annotations
@@ -228,7 +229,9 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("action", choices=("gc",),
                        help="gc: remove orphaned shard documents (shards "
                             "whose cell already has a merged document) and "
-                            "report the bytes reclaimed")
+                            "orphaned workload conversion documents "
+                            "(truncated/corrupt beyond serving), reporting "
+                            "the bytes reclaimed per section")
     store.add_argument("--result-store", default=None, metavar="DIR",
                        help="store directory (default: REPRO_RESULT_STORE)")
     return parser
@@ -313,7 +316,13 @@ def _run_evaluate(args: argparse.Namespace) -> str:
 
 
 def _run_store(args: argparse.Namespace) -> str:
-    """The ``store`` maintenance subcommand (currently: ``gc``)."""
+    """The ``store`` maintenance subcommand (currently: ``gc``).
+
+    Collects both orphan classes: shard documents whose merged cell exists
+    (sweep leftovers) and conversion documents in ``workloads/`` that are
+    truncated/corrupt beyond serving (serving leftovers), reporting
+    reclaimed bytes per section.
+    """
     store = resolve_store(args.result_store)
     if store is None:
         raise SystemExit(
@@ -340,6 +349,9 @@ def _run_store(args: argparse.Namespace) -> str:
             except OSError:
                 pass
     removed = store.gc_orphaned_shards()
+    workload_stats = store.workload_stats()
+    workload_reclaimable = workload_stats["orphaned_workload_bytes"]
+    workload_removed = store.gc_orphaned_workloads()
     lines = [
         f"result store       : {store.root}",
         f"cells with shards  : {stats['shard_cells']}",
@@ -347,6 +359,10 @@ def _run_store(args: argparse.Namespace) -> str:
         f"({stats['orphaned_shard_docs']} orphaned)",
         f"collected          : {removed} document(s)",
         f"reclaimed          : {reclaimable:,} bytes",
+        f"workload documents : {workload_stats['workload_docs']} "
+        f"({workload_stats['orphaned_workload_docs']} orphaned)",
+        f"collected          : {workload_removed} document(s)",
+        f"reclaimed          : {workload_reclaimable:,} bytes",
     ]
     return "\n".join(lines)
 

@@ -37,6 +37,13 @@ from repro.utils.validation import check_positive
 
 logger = get_logger("conversion")
 
+#: Process-wide conversion counters: ``conversions`` counts every
+#: :func:`convert_dnn_to_snn` call, ``calibrations`` only the ones that had
+#: to run the calibration forward passes (no pre-collected statistics).
+#: The serving smoke/tests assert "zero re-conversions" on registry
+#: restart by diffing ``calibrations`` around a store load-through.
+CONVERSION_COUNTERS = {"conversions": 0, "calibrations": 0}
+
 
 class ConversionError(RuntimeError):
     """Raised when a DNN cannot be converted into a spiking network."""
@@ -224,7 +231,9 @@ def convert_dnn_to_snn(
     if not relu_indices:
         raise ConversionError("the network has no ReLU layers to convert into spikes")
 
+    CONVERSION_COUNTERS["conversions"] += 1
     if statistics is None:
+        CONVERSION_COUNTERS["calibrations"] += 1
         statistics = collect_activation_statistics(
             folded, calibration_inputs, percentile=percentile
         )

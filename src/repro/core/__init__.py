@@ -21,6 +21,7 @@ from repro.core.transport import (
     TransportResult,
 )
 from repro.core.pipeline import EvaluationResult, NoiseRobustSNN
+from repro.core.servable import ServableModel
 from repro.core.analysis import (
     activation_distribution,
     all_or_none_fraction,
@@ -37,6 +38,7 @@ __all__ = [
     "TransportResult",
     "NoiseRobustSNN",
     "EvaluationResult",
+    "ServableModel",
     "activation_distribution",
     "all_or_none_fraction",
     "expected_activation_ratio",

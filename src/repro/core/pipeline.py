@@ -22,8 +22,8 @@ from typing import TYPE_CHECKING, Dict, Optional
 import numpy as np
 
 from repro.coding.base import NeuralCoder
-from repro.coding.registry import create_coder
 from repro.conversion.converter import ConvertedSNN, convert_dnn_to_snn
+from repro.core.servable import ServableModel
 from repro.core.timestep import evaluate_timestep
 from repro.core.transport import TransportResult, evaluate_transport
 from repro.core.weight_scaling import WeightScaling
@@ -109,13 +109,15 @@ class NoiseRobustSNN:
     """High-level facade over conversion, coding, noise and weight scaling.
 
     Instances are normally created with :meth:`from_dnn`.  The constructor
-    accepts an already converted network for advanced use (e.g. sharing one
-    conversion across many coders in the benchmark harness).
+    accepts an already converted network -- or a frozen
+    :class:`~repro.core.servable.ServableModel` -- for advanced use (e.g.
+    sharing one conversion across many coders in the benchmark harness, or
+    evaluating an artifact the serving registry already holds resident).
     """
 
     def __init__(
         self,
-        network: ConvertedSNN,
+        network: "ConvertedSNN | ServableModel",
         coding: str = "ttas",
         num_steps: int = 64,
         weight_scaling: bool = True,
@@ -130,7 +132,10 @@ class NoiseRobustSNN:
             raise ValueError(
                 f"simulator must be one of {SIMULATORS}, got {simulator!r}"
             )
-        self.network = network
+        #: The frozen conversion-time artifact (network + memoised coders /
+        #: protocols) shared with the serving layer; a bare ConvertedSNN is
+        #: wrapped on the way in.
+        self.servable = ServableModel.wrap(network)
         self.coding = coding
         self.num_steps = int(num_steps)
         self.coder_kwargs = dict(coder_kwargs or {})
@@ -146,6 +151,17 @@ class NoiseRobustSNN:
         #: Simulation-engine override for the timestep simulator
         #: ("fused"/"stepped"; None = REPRO_SIM_BACKEND / fused default).
         self.sim_backend = sim_backend
+
+    @property
+    def network(self) -> ConvertedSNN:
+        """The converted network inside the servable artifact."""
+        return self.servable.network
+
+    @network.setter
+    def network(self, value) -> None:
+        # Swapping the network swaps the artifact: the memoised coders and
+        # protocols of the old network must not leak onto the new one.
+        self.servable = ServableModel.wrap(value)
 
     # -- construction -------------------------------------------------------------
     @classmethod
@@ -243,8 +259,16 @@ class NoiseRobustSNN:
 
     # -- helpers -----------------------------------------------------------------
     def make_coder(self) -> NeuralCoder:
-        """Instantiate the configured coder."""
-        return create_coder(self.coding, num_steps=self.num_steps, **self.coder_kwargs)
+        """The configured coder (memoised on the servable artifact).
+
+        Coders are shareable -- their only mutable state is idempotent
+        weight caches -- so repeated evaluations of one pipeline (and any
+        serving traffic on the same artifact) reuse a single instance
+        instead of rebuilding kernels per call.
+        """
+        return self.servable.coder(
+            self.coding, self.num_steps, **self.coder_kwargs
+        )
 
     def make_weight_scaling(self) -> WeightScaling:
         """Instantiate the configured weight-scaling policy."""

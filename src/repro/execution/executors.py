@@ -29,6 +29,7 @@ from __future__ import annotations
 import os
 from concurrent.futures import (
     BrokenExecutor,
+    Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
@@ -103,6 +104,25 @@ class Executor:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def submit(self, fn: Callable[..., R], *args, **kwargs) -> "Future[R]":
+        """Run ``fn(*args, **kwargs)`` and return a :class:`Future`.
+
+        The future-shaped entry point the serving scheduler dispatches
+        micro-batches through: unlike :meth:`map`, callers get their result
+        handle immediately and demultiplex completions themselves.  The
+        default runs inline (a serial executor has no worker tier) and
+        returns an already-resolved future; the pooled backends submit onto
+        their warm pool.
+        """
+        future: Future[R] = Future()
+        if not future.set_running_or_notify_cancel():  # pragma: no cover
+            return future
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as error:  # noqa: BLE001 - delivered via future
+            future.set_exception(error)
+        return future
 
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> Iterator[R]:
         """Yield ``fn(item)`` for every item, in the order given.
@@ -180,6 +200,26 @@ class _PoolExecutor(Executor):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def submit(self, fn: Callable[..., R], *args, **kwargs) -> "Future[R]":
+        """Submit one call onto the warm pool and return its future.
+
+        A pool broken by an earlier dispatch (killed worker) is discarded
+        and respawned before submitting, so a long-lived serving scheduler
+        keeps accepting work across worker crashes -- the same recovery
+        contract :meth:`map_unordered` gives sweeps.
+        """
+        pool = self._warm_pool()
+        if getattr(pool, "_broken", False):
+            self.close()
+            pool = self._warm_pool()
+        try:
+            return pool.submit(fn, *args, **kwargs)
+        except (BrokenExecutor, RuntimeError):
+            # Broke (or shut down under us) between the check and the
+            # submit: respawn once and retry; a second failure propagates.
+            self.close()
+            return self._warm_pool().submit(fn, *args, **kwargs)
 
     def map_unordered(
         self, fn: Callable[[T], R], items: Sequence[T]

@@ -67,6 +67,11 @@ RESULT_STORE_ENV = "REPRO_RESULT_STORE"
 #: Store format version, embedded in every document; bump on layout changes.
 STORE_VERSION = 1
 
+#: Payload fields a conversion document must carry to be servable --
+#: exactly what :func:`repro.experiments.workloads.prepare_workload` needs
+#: to rebuild the network without re-running calibration.
+_REQUIRED_WORKLOAD_FIELDS = ("scales", "percentile", "input_scale", "dnn_accuracy")
+
 
 @dataclass
 class StoreStats:
@@ -322,28 +327,56 @@ class ResultStore:
         """Document path of a workload-conversion key (sharded like cells)."""
         return os.path.join(self.root, "workloads", key[:2], f"{key}.json")
 
-    def get_workload_conversion(self, key: str) -> Optional[dict]:
-        """Load a stored conversion payload; ``None`` (a miss) when absent.
+    def _read_workload_document(self, path: str) -> Optional[dict]:
+        """Load + validate one conversion document; ``None`` when unusable.
 
-        Same degradation contract as :meth:`get`: unreadable or malformed
-        documents are misses, so a corrupt store can only cost time (the
-        conversion is recomputed), never correctness.
+        The single reader behind :meth:`get_workload_conversion` and the
+        workload inventory/gc: a document that is truncated, not JSON, or
+        missing the fields :func:`repro.experiments.workloads.prepare_workload`
+        needs to rebuild the network (``scales``, ``percentile``,
+        ``input_scale``, ``dnn_accuracy``) degrades to ``None`` with a
+        warning naming the file -- the same chaos-tested contract as cell
+        documents, so a crash mid-write can only ever cost a re-conversion.
+        Raises :class:`FileNotFoundError` when the document simply does not
+        exist (an ordinary miss, not worth a warning).
         """
-        path = self.workload_path_for(key)
         try:
             document = load_json(path)
         except FileNotFoundError:
-            self.stats.misses += 1
-            return None
+            raise
         except (OSError, ValueError) as error:
             logger.warning(
                 "ignoring unreadable workload document %s (%s)", path, error
             )
-            self.stats.misses += 1
             return None
         payload = document.get("conversion") if isinstance(document, dict) else None
         if not isinstance(payload, dict):
             logger.warning("ignoring malformed workload document %s", path)
+            return None
+        for field_name in _REQUIRED_WORKLOAD_FIELDS:
+            if field_name not in payload:
+                logger.warning(
+                    "ignoring malformed workload document %s (missing %r)",
+                    path, field_name,
+                )
+                return None
+        return payload
+
+    def get_workload_conversion(self, key: str) -> Optional[dict]:
+        """Load a stored conversion payload; ``None`` (a miss) when absent.
+
+        Same degradation contract as :meth:`get`: unreadable, truncated or
+        malformed documents are misses (with a warning naming the file), so
+        a corrupt store can only cost time (the conversion is recomputed
+        and the document overwritten), never correctness.
+        """
+        path = self.workload_path_for(key)
+        try:
+            payload = self._read_workload_document(path)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        if payload is None:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -360,6 +393,80 @@ class ResultStore:
         save_json(path, document, atomic=True)
         self.stats.writes += 1
         return path
+
+    def workload_documents(self) -> Iterator[str]:
+        """Iterate over every conversion-document path in ``workloads/``."""
+        workloads = os.path.join(self.root, "workloads")
+        if not os.path.isdir(workloads):
+            return
+        for prefix in sorted(os.listdir(workloads)):
+            prefix_dir = os.path.join(workloads, prefix)
+            if not os.path.isdir(prefix_dir):
+                continue
+            for name in sorted(os.listdir(prefix_dir)):
+                if name.endswith(".json"):
+                    yield os.path.join(prefix_dir, name)
+
+    def workload_stats(self) -> Dict[str, int]:
+        """Conversion-document inventory: total and orphaned counts/bytes.
+
+        A conversion document is *orphaned* when it can never be served
+        again -- truncated by a crash predating atomic writes, not JSON, or
+        missing required payload fields.  :meth:`get_workload_conversion`
+        degrades such documents to misses, so they are pure dead bytes: the
+        next ``prepare_workload`` recomputes the conversion and overwrites
+        them.  ``workload_bytes``/``orphaned_workload_bytes`` report their
+        on-disk footprint for the ``store gc`` CLI.
+        """
+        docs = 0
+        orphaned = 0
+        total_bytes = 0
+        orphaned_bytes = 0
+        for path in self.workload_documents():
+            try:
+                size = os.path.getsize(path)
+            except OSError:
+                continue
+            docs += 1
+            total_bytes += size
+            try:
+                payload = self._read_workload_document(path)
+            except FileNotFoundError:  # pragma: no cover - raced unlink
+                continue
+            if payload is None:
+                orphaned += 1
+                orphaned_bytes += size
+        return {
+            "workload_docs": docs,
+            "orphaned_workload_docs": orphaned,
+            "workload_bytes": total_bytes,
+            "orphaned_workload_bytes": orphaned_bytes,
+        }
+
+    def gc_orphaned_workloads(self) -> int:
+        """Remove unreadable/malformed conversion documents; returns the count.
+
+        Safe to run any time: only documents :meth:`get_workload_conversion`
+        would already refuse to serve are touched, so no cached conversion
+        is lost -- the reclaimed space is exactly the
+        ``orphaned_workload_bytes`` of :meth:`workload_stats`.
+        """
+        removed = 0
+        for path in list(self.workload_documents()):
+            try:
+                payload = self._read_workload_document(path)
+            except FileNotFoundError:
+                continue
+            if payload is not None:
+                continue
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError as error:
+                logger.warning(
+                    "cannot remove workload document %s (%s)", path, error
+                )
+        return removed
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"ResultStore(root={self.root!r}, stats={self.stats.as_dict()})"

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.conversion.converter import ConvertedSNN, convert_dnn_to_snn
 from repro.conversion.normalization import ActivationStatistics
+from repro.core.servable import ServableModel
 from repro.data.datasets import DatasetSplit
 from repro.data.synthetic import load_dataset
 from repro.execution.store import ResultStore
@@ -70,12 +71,36 @@ class PreparedWorkload:
     #: Seed the workload was prepared with; ``None`` for hand-built
     #: workloads (the sweep engine then cannot verify seed consistency).
     seed: Optional[int] = None
+    #: Conversion fingerprint of the network (the ``workloads/`` store key
+    #: and the serving registry's model address); ``None`` for hand-built
+    #: workloads.
+    conversion_key: Optional[str] = None
 
     def evaluation_slice(self, size: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
         """Return the (images, labels) slice used for noisy evaluations."""
         count = size if size is not None else self.scale.eval_size
         count = int(min(count, len(self.data.test)))
         return self.data.test.x[:count], self.data.test.y[:count]
+
+    def servable_model(self) -> ServableModel:
+        """The frozen servable artifact of this workload (memoised).
+
+        One instance per workload: the pipeline facade, the serving
+        registry and the micro-batching scheduler all share its memoised
+        coders / protocols / evaluators.
+        """
+        servable = getattr(self, "_servable", None)
+        if servable is None:
+            servable = ServableModel(
+                network=self.network,
+                key=self.conversion_key,
+                dataset=self.dataset_name,
+                scale_name=self.scale.name,
+                seed=self.seed,
+                dnn_accuracy=float(self.dnn_accuracy),
+            )
+            self._servable = servable
+        return servable
 
 
 def _build_model(config: DatasetConfig, data: DatasetSplit, scale: ExperimentScale, rng):
@@ -235,13 +260,14 @@ def prepare_workload(
             logger.info("cached trained weights at %s", cache_file)
 
     calibration = data.train.x[: min(128, len(data.train))]
-    key: Optional[str] = None
+    # The fingerprint is computed store-or-not: it is also the workload's
+    # address in the serving model registry.
+    key = conversion_key(
+        config.name, scale, int(seed), _model_weights_hash(model),
+        calibration_size=int(calibration.shape[0]),
+    )
     conversion: Optional[dict] = None
     if store is not None:
-        key = conversion_key(
-            config.name, scale, int(seed), _model_weights_hash(model),
-            calibration_size=int(calibration.shape[0]),
-        )
         conversion = store.get_workload_conversion(key)
     if conversion is not None:
         try:
@@ -272,31 +298,7 @@ def prepare_workload(
     if conversion is None:
         dnn_accuracy = evaluate_accuracy(model, data.test)
         network = convert_dnn_to_snn(model, calibration)
-        if store is not None and key is not None:
-            try:
-                store.put_workload_conversion(
-                    key,
-                    {
-                        "dataset": config.name,
-                        "scale": scale.name,
-                        "seed": int(seed),
-                        "scales": [float(v) for v in network.statistics.scales],
-                        "percentile": float(network.statistics.percentile),
-                        "means": [float(v) for v in network.statistics.means],
-                        "maxima": [float(v) for v in network.statistics.maxima],
-                        "sample_size": int(network.statistics.sample_size),
-                        "input_scale": float(network.input_scale),
-                        "dnn_accuracy": float(dnn_accuracy),
-                    },
-                )
-            except OSError as error:
-                # The store is an accelerator, never a correctness
-                # dependency (same contract as cell writes).
-                logger.warning(
-                    "workload-conversion store write failed for %s (%s)",
-                    config.name, error,
-                )
-    return PreparedWorkload(
+    prepared = PreparedWorkload(
         dataset_name=config.name,
         data=data,
         model=model,
@@ -304,4 +306,20 @@ def prepare_workload(
         dnn_accuracy=dnn_accuracy,
         scale=scale,
         seed=int(seed),
+        conversion_key=key,
     )
+    if conversion is None and store is not None:
+        try:
+            # The store-back document is the servable artifact's payload --
+            # the exact shape `get_workload_conversion` reads back above.
+            store.put_workload_conversion(
+                key, prepared.servable_model().conversion_payload()
+            )
+        except OSError as error:
+            # The store is an accelerator, never a correctness
+            # dependency (same contract as cell writes).
+            logger.warning(
+                "workload-conversion store write failed for %s (%s)",
+                config.name, error,
+            )
+    return prepared

@@ -12,8 +12,16 @@ from repro.metrics.robustness import (
     relative_degradation,
     summarize_noise_sweep,
 )
+from repro.metrics.latency import (
+    LatencySummary,
+    latency_summary,
+    pool_latencies,
+)
 
 __all__ = [
+    "LatencySummary",
+    "latency_summary",
+    "pool_latencies",
     "accuracy_score",
     "top_k_accuracy",
     "confusion_matrix",

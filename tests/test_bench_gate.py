@@ -191,6 +191,39 @@ class TestShardSpeedupFloor:
         assert dict(gate.iter_timings(results)) == {}
 
 
+class TestServingSpeedupFloor:
+    def test_meets_floor(self):
+        ok, message = gate.check_serving_speedup(
+            make_report(BASE_RESULTS, summary={"serving_speedup": 3.6}),
+            3.0,
+        )
+        assert ok
+        assert "3.60x" in message
+
+    def test_below_floor_fails(self):
+        ok, message = gate.check_serving_speedup(
+            make_report(BASE_RESULTS, summary={"serving_speedup": 1.2}),
+            3.0,
+        )
+        assert not ok
+        assert "1.20x" in message and "3.00x" in message
+
+    def test_absent_summary_key_fails(self):
+        ok, message = gate.check_serving_speedup(make_report(BASE_RESULTS), 3.0)
+        assert not ok
+        assert "serving_speedup" in message
+
+    def test_serving_wall_clocks_are_not_leaf_gated(self):
+        # The section's absolutes are concurrency/core-count-bound; only
+        # the same-run throughput ratio is judged (check_serving_speedup).
+        results = {"serving": {
+            "config": {"clients": 32, "cpu_count": 4},
+            "transport": {"sequential_p50": 0.002, "batched_p50": 0.008,
+                          "throughput_speedup": 3.6},
+        }}
+        assert dict(gate.iter_timings(results)) == {}
+
+
 class TestMainExitCodes:
     def write(self, tmp_path, name, report):
         path = tmp_path / name
@@ -237,6 +270,18 @@ class TestMainExitCodes:
         assert gate.main(args) == 0  # floor off by default
         assert gate.main(args + ["--min-shard-speedup", "2.5"]) == 1
         assert gate.main(args + ["--min-shard-speedup", "1.5"]) == 0
+        capsys.readouterr()
+
+    def test_serving_speedup_floor_gates_main(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", make_report(BASE_RESULTS))
+        cand = self.write(
+            tmp_path, "cand.json",
+            make_report(BASE_RESULTS, summary={"serving_speedup": 2.0}),
+        )
+        args = ["--baseline", base, "--candidate", cand]
+        assert gate.main(args) == 0  # floor off by default
+        assert gate.main(args + ["--min-serving-speedup", "3"]) == 1
+        assert gate.main(args + ["--min-serving-speedup", "1.5"]) == 0
         capsys.readouterr()
 
     def test_bad_tolerance_exits_two(self, tmp_path, capsys):
